@@ -1,0 +1,60 @@
+// Command sailor-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sailor-bench -id all            # every experiment
+//	sailor-bench -id fig7           # one experiment
+//	sailor-bench -id fig9b -cap 60s # raise the slow-planner cap
+//	sailor-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sailor-bench: ")
+
+	id := flag.String("id", "all", "experiment id or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	quick := flag.Bool("quick", false, "shrink cluster sizes for a fast pass")
+	cap := flag.Duration("cap", 10*time.Second, "deadline for slow searchers (paper caps Metis at 300s)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.IDs() {
+			fmt.Println(e)
+		}
+		return
+	}
+	opts := experiments.Opts{Quick: *quick, SlowPlannerCap: *cap}
+
+	ids := experiments.IDs()
+	if *id != "all" {
+		if _, ok := experiments.Registry[*id]; !ok {
+			log.Fatalf("unknown experiment %q; use -list", *id)
+		}
+		ids = []string{*id}
+	}
+	failed := 0
+	for _, e := range ids {
+		start := time.Now()
+		tab, err := experiments.Registry[e](opts)
+		if err != nil {
+			log.Printf("%s: %v", e, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s\n(regenerated in %s)\n\n", tab, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command sailor-plan runs the Sailor planner against a resource quota and
+// prints the chosen allocation, parallelization plan, and estimates.
+//
+// Usage:
+//
+//	sailor-plan -model opt350m -quota us-central1-a:A100-40:16,us-central1-a:V100-16:16
+//	sailor-plan -model gptneo27b -objective min-cost -min-throughput 0.05 -quota ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sailor-plan: ")
+
+	modelName := flag.String("model", "opt350m", "model: opt350m or gptneo27b")
+	quota := flag.String("quota", "", "comma-separated zone:gpu:count triples, e.g. us-central1-a:A100-40:16")
+	objective := flag.String("objective", "max-throughput", "max-throughput or min-cost")
+	budget := flag.Float64("budget", 0, "max USD per iteration (0 = unconstrained)")
+	minTput := flag.Float64("min-throughput", 0, "min iterations/sec (0 = unconstrained)")
+	measure := flag.Bool("measure", false, "also run the plan on the ground-truth engine")
+	flag.Parse()
+
+	m, err := modelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, gpus, err := parseQuota(*quota)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj := sailor.MaxThroughput
+	if *objective == "min-cost" {
+		obj = sailor.MinCost
+	}
+
+	sys, err := sailor.New(m, gpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Plan(pool, obj, sailor.Constraints{
+		MaxCostPerIter: *budget,
+		MinThroughput:  *minTput,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:        %s (%d params)\n", m.Name, m.TotalParams())
+	fmt.Printf("plan:         %s\n", res.Plan)
+	fmt.Printf("GPUs:         %d\n", res.Plan.GPUCount())
+	fmt.Printf("est time:     %.3f s/iter (%.3f iters/sec)\n", res.Estimate.IterTime, res.Estimate.Throughput())
+	fmt.Printf("est cost:     $%.3f/iter (compute $%.3f + egress $%.3f)\n",
+		res.Estimate.Cost(), res.Estimate.ComputeCost, res.Estimate.EgressCost)
+	fmt.Printf("peak memory:  %.1f GiB on %s\n", float64(res.Estimate.PeakMemory)/(1<<30), res.Estimate.PeakMemoryGPU)
+	fmt.Printf("search time:  %s (%d nodes explored)\n", res.SearchTime, res.Explored)
+
+	if *measure {
+		real, err := sys.Measure(res.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("measured:     %.3f s/iter (%.3f iters/sec), $%.3f/iter\n",
+			real.IterTime, real.Throughput(), real.Cost())
+	}
+}
+
+func modelByName(name string) (sailor.Model, error) {
+	switch strings.ToLower(name) {
+	case "opt350m", "opt-350m":
+		return sailor.OPT350M(), nil
+	case "gptneo27b", "gpt-neo-2.7b":
+		return sailor.GPTNeo27B(), nil
+	}
+	return sailor.Model{}, fmt.Errorf("unknown model %q (want opt350m or gptneo27b)", name)
+}
+
+func parseQuota(s string) (*sailor.Pool, []sailor.GPUType, error) {
+	if s == "" {
+		fmt.Fprintln(os.Stderr, "missing -quota; example: -quota us-central1-a:A100-40:16,us-central1-b:V100-16:32")
+		os.Exit(2)
+	}
+	pool := sailor.NewPool()
+	seen := map[sailor.GPUType]bool{}
+	var gpus []sailor.GPUType
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("bad quota entry %q (want zone:gpu:count)", part)
+		}
+		zoneName := fields[0]
+		region := zoneName
+		if i := strings.LastIndex(zoneName, "-"); i > 0 {
+			region = zoneName[:i]
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			return nil, nil, fmt.Errorf("bad count in %q", part)
+		}
+		g := sailor.GPUType(fields[1])
+		pool.Set(sailor.Zone{Region: region, Name: zoneName}, g, n)
+		if !seen[g] {
+			seen[g] = true
+			gpus = append(gpus, g)
+		}
+	}
+	return pool, gpus, nil
+}

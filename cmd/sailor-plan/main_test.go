@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseQuota(t *testing.T) {
+	pool, gpus, err := parseQuota("us-central1-a:A100-40:16,us-central1-b:V100-16:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.TotalGPUs(); got != 48 {
+		t.Errorf("TotalGPUs = %d, want 48", got)
+	}
+	if len(gpus) != 2 {
+		t.Errorf("gpus = %v, want 2 distinct types", gpus)
+	}
+	zs := pool.Zones()
+	if len(zs) != 2 || zs[0].Region != "us-central1" {
+		t.Errorf("zones = %v", zs)
+	}
+}
+
+func TestParseQuotaErrors(t *testing.T) {
+	for _, bad := range []string{
+		"zone-only",
+		"z:A100-40:notanumber",
+		"z:A100-40:-4",
+		"z:A100-40:0",
+	} {
+		if _, _, err := parseQuota(bad); err == nil {
+			t.Errorf("parseQuota(%q) should fail", bad)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, name := range []string{"opt350m", "OPT-350M", "gptneo27b"} {
+		if _, err := modelByName(name); err != nil {
+			t.Errorf("modelByName(%q): %v", name, err)
+		}
+	}
+	if _, err := modelByName("bert"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}

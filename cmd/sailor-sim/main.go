@@ -1,0 +1,91 @@
+// Command sailor-sim evaluates an explicit parallelization plan with the
+// Sailor simulator and the ground-truth engine, printing time, memory,
+// cost, and the estimation gap — a one-plan version of the paper's §5.1.
+//
+// Usage:
+//
+//	sailor-sim -model opt350m -gpu A100-40 -pp 2 -dp 4 -tp 2 -mbs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sailor-sim: ")
+
+	modelName := flag.String("model", "opt350m", "opt350m or gptneo27b")
+	gpu := flag.String("gpu", "A100-40", "GPU type for all replicas")
+	zoneName := flag.String("zone", "us-central1-a", "zone for all replicas")
+	pp := flag.Int("pp", 2, "pipeline-parallel degree")
+	dp := flag.Int("dp", 2, "data-parallel degree")
+	tp := flag.Int("tp", 1, "tensor-parallel degree")
+	mbs := flag.Int("mbs", 2, "microbatch size")
+	flag.Parse()
+
+	var m sailor.Model
+	switch strings.ToLower(*modelName) {
+	case "opt350m", "opt-350m":
+		m = sailor.OPT350M()
+	case "gptneo27b", "gpt-neo-2.7b":
+		m = sailor.GPTNeo27B()
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+
+	region := *zoneName
+	if i := strings.LastIndex(region, "-"); i > 0 {
+		region = region[:i]
+	}
+	z := sailor.Zone{Region: region, Name: *zoneName}
+	g := sailor.GPUType(*gpu)
+
+	plan := sailor.Plan{MicroBatchSize: *mbs}
+	per := m.Layers / *pp
+	rem := m.Layers - per**pp
+	first := 0
+	for i := 0; i < *pp; i++ {
+		n := per
+		if i < rem {
+			n++
+		}
+		st := sailor.StagePlan{FirstLayer: first, NumLayers: n}
+		for k := 0; k < *dp; k++ {
+			st.Replicas = append(st.Replicas, sailor.StageReplica{GPU: g, TP: *tp, Zone: z})
+		}
+		plan.Stages = append(plan.Stages, st)
+		first += n
+	}
+
+	sys, err := sailor.New(m, []sailor.GPUType{g})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := sys.Simulate(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	real, err := sys.Measure(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("plan:       %s\n", plan)
+	fmt.Printf("simulated:  %.3f s/iter, %.1f GiB peak, $%.3f/iter\n",
+		est.IterTime, float64(est.PeakMemory)/(1<<30), est.Cost())
+	fmt.Printf("measured:   %.3f s/iter, %.1f GiB peak, $%.3f/iter\n",
+		real.IterTime, float64(real.PeakMemory)/(1<<30), real.Cost())
+	gap := 100 * (est.IterTime - real.IterTime) / real.IterTime
+	fmt.Printf("time gap:   %+.1f%%\n", gap)
+	if !real.FitsMemory {
+		fmt.Println("verdict:    OOM on deployment")
+	} else {
+		fmt.Println("verdict:    deployable")
+	}
+}

@@ -1,0 +1,54 @@
+// Geo-distributed: plan across two regions under a budget (§5.2.3-5.2.4).
+// Data parallelism stays inside a region (heuristic H5); only the pipeline
+// crosses regions, and inter-region egress is billed per byte, so the
+// planner weighs throughput against transfer cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	job := sailor.OPT350M()
+	sys, err := sailor.New(job, []sailor.GPUType{sailor.A100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pool := sailor.NewPool().
+		Set(sailor.GCPZone("us-central1", 'a'), sailor.A100, 16).
+		Set(sailor.GCPZone("us-central1", 'b'), sailor.A100, 16).
+		Set(sailor.GCPZone("us-west1", 'a'), sailor.A100, 32)
+
+	// Unconstrained: maximize throughput.
+	res, err := sys.Plan(pool, sailor.MaxThroughput, sailor.Constraints{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max-throughput: %.3f iters/sec, $%.3f/iter (egress $%.3f)\n",
+		res.Estimate.Throughput(), res.Estimate.Cost(), res.Estimate.EgressCost)
+	fmt.Printf("  plan: %s\n", res.Plan)
+	fmt.Printf("  zones used: %v\n", res.Plan.Zones())
+
+	// Budget-capped: the planner trades GPUs and regions for cost.
+	capped, err := sys.Plan(pool, sailor.MaxThroughput, sailor.Constraints{MaxCostPerIter: 0.15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbudget $0.15/iter: %.3f iters/sec, $%.3f/iter\n",
+		capped.Estimate.Throughput(), capped.Estimate.Cost())
+	fmt.Printf("  plan: %s\n", capped.Plan)
+
+	// Cost objective with a throughput floor (§5.2.4 scenario 1).
+	cheap, err := sys.Plan(pool, sailor.MinCost, sailor.Constraints{MinThroughput: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmin-cost @ >=0.1 it/s: %.3f iters/sec, $%.3f/iter, %d GPUs\n",
+		cheap.Estimate.Throughput(), cheap.Estimate.Cost(), cheap.Plan.GPUCount())
+}

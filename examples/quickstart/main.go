@@ -1,0 +1,45 @@
+// Quickstart: profile a model, plan a job on a small A100 pool, check the
+// simulator against the testbed substitute, and print the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Describe the training job and profile it on the GPU types in the
+	// resource pool (paper §4.1; synthetic profiles in this repo).
+	job := sailor.OPT350M()
+	sys, err := sailor.New(job, []sailor.GPUType{sailor.A100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s (%.0fM params) in ~%s of simulated GPU time\n",
+		job.Name, float64(job.TotalParams())/1e6, sys.ProfilingOverhead().Round(1e9))
+
+	// 2. Declare what is available: 16 A100s in one zone.
+	zone := sailor.GCPZone("us-central1", 'a')
+	pool := sailor.NewPool().Set(zone, sailor.A100, 16)
+
+	// 3. Plan for maximum throughput.
+	res, err := sys.Plan(pool, sailor.MaxThroughput, sailor.Constraints{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s\n", res.Plan)
+	fmt.Printf("planner: %.3f iters/sec, $%.3f/iter, found in %s\n",
+		res.Estimate.Throughput(), res.Estimate.Cost(), res.SearchTime.Round(1e6))
+
+	// 4. Deploy on the ground-truth engine and compare.
+	real, err := sys.Measure(res.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: %.3f iters/sec, peak %.1f GiB (fits: %v)\n",
+		real.Throughput(), float64(real.PeakMemory)/(1<<30), real.FitsMemory)
+}

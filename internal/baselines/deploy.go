@@ -1,0 +1,77 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/groundtruth"
+)
+
+// All returns every baseline planner over one environment, in the order of
+// Table 1.
+func All(env Env) []Planner {
+	return []Planner{
+		&Piper{Env: env},
+		&AMP{Env: env},
+		&Varuna{Env: env},
+		&Oobleck{Env: env},
+		&Metis{Env: env},
+		&FlashFlex{Env: env},
+		&Galvatron{Env: env},
+		&Aceso{Env: env},
+		&DTFM{Env: env},
+	}
+}
+
+// ByName returns one baseline by its Table 1 name.
+func ByName(env Env, name string) (Planner, error) {
+	for _, p := range All(env) {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("baselines: unknown planner %q", name)
+}
+
+// Deployment is the outcome of deploying a baseline's ranking on the
+// ground-truth cluster: the first plan that does not OOM, its measured
+// estimate, and how many invalid (OOM) plans were emitted before it —
+// the bold numbers of Figures 8 and 9.
+type Deployment struct {
+	Planner     string
+	Plan        core.Plan
+	Measured    core.Estimate
+	EstIterTime float64
+	OOMPlans    int
+	SearchTime  time.Duration
+}
+
+// Deploy runs a planner and walks its ranking on the ground-truth engine
+// until a plan survives, mirroring how the paper deploys baseline plans on
+// real clusters and counts OOM emissions.
+func Deploy(p Planner, pool *cluster.Pool, gt *groundtruth.Engine) (Deployment, error) {
+	r, err := p.Rank(pool)
+	if err != nil {
+		return Deployment{Planner: p.Name()}, err
+	}
+	d := Deployment{Planner: p.Name(), SearchTime: r.SearchTime}
+	for _, c := range r.Candidates {
+		meas, err := gt.Measure(c.Plan)
+		if err != nil {
+			d.OOMPlans++ // invalid plan (fails deployment)
+			continue
+		}
+		if !meas.FitsMemory {
+			d.OOMPlans++
+			continue
+		}
+		d.Plan = c.Plan
+		d.Measured = meas
+		d.EstIterTime = c.EstIterTime
+		return d, nil
+	}
+	return d, fmt.Errorf("baselines: %s found no deployable plan (%d OOM of %d candidates)",
+		p.Name(), d.OOMPlans, len(r.Candidates))
+}

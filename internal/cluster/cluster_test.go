@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPoolBasics(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	zb := GCPZone("us-central1", 'b')
+	p := NewPool().Set(za, core.A100, 16).Set(zb, core.V100, 32)
+	if got := p.Available(za, core.A100); got != 16 {
+		t.Errorf("Available = %d, want 16", got)
+	}
+	if got := p.TotalOf(core.A100); got != 16 {
+		t.Errorf("TotalOf = %d, want 16", got)
+	}
+	if got := p.TotalGPUs(); got != 48 {
+		t.Errorf("TotalGPUs = %d, want 48", got)
+	}
+	p.Add(za, core.A100, -20)
+	if got := p.Available(za, core.A100); got != 0 {
+		t.Errorf("Add should clamp at zero, got %d", got)
+	}
+}
+
+func TestZonesSortedAndFiltered(t *testing.T) {
+	za := GCPZone("us-west1", 'a')
+	zb := GCPZone("us-central1", 'b')
+	zc := GCPZone("us-central1", 'c')
+	p := NewPool().Set(za, core.A100, 4).Set(zb, core.A100, 4).Set(zc, core.A100, 0)
+	zs := p.Zones()
+	if len(zs) != 2 {
+		t.Fatalf("Zones = %v, want zero-count zone filtered", zs)
+	}
+	if zs[0].Name != "us-central1-b" {
+		t.Errorf("Zones not sorted: %v", zs)
+	}
+	rs := p.Regions()
+	if len(rs) != 2 || rs[0] != "us-central1" {
+		t.Errorf("Regions = %v", rs)
+	}
+}
+
+func TestGPUTypes(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	p := NewPool().Set(za, core.V100, 8).Set(za, core.A100, 8).Set(za, core.T4, 0)
+	ts := p.GPUTypes()
+	if len(ts) != 2 || ts[0] != core.A100 || ts[1] != core.V100 {
+		t.Errorf("GPUTypes = %v", ts)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	p := NewPool().Set(za, core.A100, 8)
+	q := p.Clone()
+	q.Add(za, core.A100, -8)
+	if p.Available(za, core.A100) != 8 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func onePlan(z core.Zone, n, tp int) core.Plan {
+	reps := make([]core.StageReplica, n)
+	for i := range reps {
+		reps[i] = core.StageReplica{GPU: core.A100, TP: tp, Zone: z}
+	}
+	return core.Plan{MicroBatchSize: 1, Stages: []core.StagePlan{
+		{FirstLayer: 0, NumLayers: 24, Replicas: reps},
+	}}
+}
+
+func TestCanFitAndSubtract(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	p := NewPool().Set(za, core.A100, 16)
+	plan := onePlan(za, 2, 4) // 8 GPUs
+	if !p.CanFit(plan) {
+		t.Fatal("plan should fit")
+	}
+	if err := p.Subtract(plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Available(za, core.A100); got != 8 {
+		t.Errorf("after Subtract: %d, want 8", got)
+	}
+	big := onePlan(za, 4, 4) // 16 GPUs > 8 remaining
+	if p.CanFit(big) {
+		t.Error("oversized plan should not fit")
+	}
+	if err := p.Subtract(big); err == nil {
+		t.Error("Subtract must reject oversized plan")
+	}
+}
+
+func TestConsolidateRegions(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	zb := GCPZone("us-central1", 'b')
+	zw := GCPZone("us-west1", 'a')
+	p := NewPool().Set(za, core.A100, 8).Set(zb, core.A100, 8).Set(zw, core.A100, 4)
+	q := p.ConsolidateRegions()
+	merged := core.Zone{Region: "us-central1", Name: "us-central1"}
+	if got := q.Available(merged, core.A100); got != 16 {
+		t.Errorf("consolidated = %d, want 16 (H6 merges zones per region)", got)
+	}
+	if got := q.TotalGPUs(); got != 20 {
+		t.Errorf("TotalGPUs after consolidation = %d, want 20", got)
+	}
+	if len(q.Zones()) != 2 {
+		t.Errorf("want one synthetic zone per region, got %v", q.Zones())
+	}
+}
+
+func TestNodes(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	p := NewPool().Set(za, core.A100, 18)
+	if got := p.Nodes(za, core.A100); got != 4 { // 4-GPU VMs
+		t.Errorf("Nodes = %d, want 4 whole VMs from 18 GPUs", got)
+	}
+}
+
+func TestPoolString(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	s := NewPool().Set(za, core.A100, 8).String()
+	if !strings.Contains(s, "us-central1-a A100-40 x8") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeAll regenerates every artefact at Quick scale and checks it is
+// well-formed. Run with -v to see the tables.
+func TestSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped in -short mode")
+	}
+	o := Opts{Quick: true, SlowPlannerCap: 2 * time.Second}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			start := time.Now()
+			tab, err := Registry[id](o)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			if len(tab.Headers) == 0 {
+				t.Fatalf("%s: no headers", id)
+			}
+			for i, r := range tab.Rows {
+				if len(r) != len(tab.Headers) {
+					t.Fatalf("%s row %d: %d cells, want %d", id, i, len(r), len(tab.Headers))
+				}
+			}
+			t.Logf("%s regenerated in %v\n%s", id, time.Since(start).Round(time.Millisecond), tab)
+		})
+	}
+}

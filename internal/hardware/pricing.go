@@ -1,0 +1,54 @@
+package hardware
+
+import "repro/internal/core"
+
+// Pricing holds the monetary rates the cost model of §4.3 consumes:
+// per-GPU-hour compute prices (from the GPU catalogue) and per-byte egress
+// prices by link class. Values are representative public-cloud list prices.
+type Pricing struct {
+	// EgressUSDPerGB by link class. Intra-zone traffic is free; inter-zone
+	// and inter-region transfers carry the fees that make geo-distributed
+	// configurations cost-sensitive (Figure 1, c6).
+	EgressUSDPerGB map[LinkClass]float64
+	// GPUHourOverride replaces catalogue prices when set (e.g. spot).
+	GPUHourOverride map[core.GPUType]float64
+}
+
+// DefaultPricing returns GCP-like on-demand rates.
+func DefaultPricing() *Pricing {
+	return &Pricing{
+		EgressUSDPerGB: map[LinkClass]float64{
+			IntraNode:   0,
+			IntraZone:   0,
+			InterZone:   0.01,
+			InterRegion: 0.05,
+		},
+	}
+}
+
+// GPUHourUSD returns the hourly price of one GPU of the given type.
+func (p *Pricing) GPUHourUSD(t core.GPUType) float64 {
+	if p.GPUHourOverride != nil {
+		if v, ok := p.GPUHourOverride[t]; ok {
+			return v
+		}
+	}
+	return MustLookup(t).CostPerHour
+}
+
+// EgressUSD returns the cost of transferring `bytes` across a link class.
+func (p *Pricing) EgressUSD(class LinkClass, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	rate := p.EgressUSDPerGB[class]
+	return rate * float64(bytes) / 1e9
+}
+
+// ComputeUSD returns the cost of occupying n GPUs of type t for secs seconds.
+func (p *Pricing) ComputeUSD(t core.GPUType, n int, secs float64) float64 {
+	if n <= 0 || secs <= 0 {
+		return 0
+	}
+	return p.GPUHourUSD(t) * float64(n) * secs / 3600.0
+}

@@ -1,0 +1,40 @@
+package model
+
+// Additional dense decoder configurations beyond the paper's two evaluation
+// models, for users and for stress-testing the planner across scales.
+
+// OPT13B returns OPT-1.3B.
+func OPT13B() Config {
+	return Config{
+		Name: "OPT-1.3B", Hidden: 2048, Layers: 24, Heads: 32,
+		Vocab: 50272, SeqLen: 2048, GlobalBatch: 2048,
+	}
+}
+
+// GPT2XL returns GPT-2 XL (1.5B).
+func GPT2XL() Config {
+	return Config{
+		Name: "GPT-2-XL", Hidden: 1600, Layers: 48, Heads: 25,
+		Vocab: 50257, SeqLen: 1024, GlobalBatch: 512,
+	}
+}
+
+// Llama7B returns a LLaMA-7B-shaped dense decoder. The real model uses
+// SwiGLU and RoPE; the dense accounting here treats its MLP as the standard
+// 4x expansion, which slightly overstates parameters (~10%) but keeps the
+// planner mechanics identical.
+func Llama7B() Config {
+	return Config{
+		Name: "LLaMA-7B", Hidden: 4096, Layers: 32, Heads: 32,
+		Vocab: 32000, SeqLen: 2048, GlobalBatch: 1024,
+	}
+}
+
+// Zoo returns the built-in configurations by name.
+func Zoo() map[string]Config {
+	out := map[string]Config{}
+	for _, c := range []Config{OPT350M(), GPTNeo27B(), OPT13B(), GPT2XL(), Llama7B()} {
+		out[c.Name] = c
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package model
+
+import "testing"
+
+func TestZooParamCounts(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		lo, hi float64 // billions
+	}{
+		{OPT13B(), 1.1, 1.6},
+		{GPT2XL(), 1.3, 1.9},
+		{Llama7B(), 6.0, 8.5},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", c.cfg.Name, err)
+			continue
+		}
+		got := float64(c.cfg.TotalParams()) / 1e9
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s params = %.2fB, want in [%v, %v]", c.cfg.Name, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestZooRegistry(t *testing.T) {
+	z := Zoo()
+	if len(z) != 5 {
+		t.Fatalf("zoo has %d models, want 5", len(z))
+	}
+	for name, cfg := range z {
+		if cfg.Name != name {
+			t.Errorf("zoo key %q maps to %q", name, cfg.Name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+}

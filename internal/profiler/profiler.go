@@ -1,0 +1,271 @@
+// Package profiler reproduces the Sailor profiler (§4.1).
+//
+// The real system measures one node per GPU type with PyTorch hooks and CUDA
+// events, collecting per-layer forward/backward/update times for a grid of
+// microbatch sizes and tensor-parallel degrees, plus network bandwidth
+// coefficients per node-type pair. Without hardware, this package generates
+// the same artefact analytically: a roofline model over the hardware
+// catalogue, perturbed by deterministic "measurement" noise, produces the
+// timing tables; hardware.FitLink produces the network coefficients.
+//
+// Everything downstream consumes only the Profile, so swapping this
+// generator for a real measurement campaign would not change any other
+// package — which is exactly the property the paper's profiler has.
+package profiler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/model"
+)
+
+// LayerTiming is the measured cost of one transformer block on one worker:
+// forward pass, backward pass, and the per-parameter-shard optimizer update,
+// all in seconds.
+type LayerTiming struct {
+	Fwd    float64
+	Bwd    float64
+	Update float64
+}
+
+// Key indexes the timing tables: GPU type, microbatch size, TP degree.
+type Key struct {
+	GPU core.GPUType
+	MBS int
+	TP  int
+}
+
+// Profile is the output of a profiling campaign for one model on a resource
+// pool, consumed by the simulator and planner.
+type Profile struct {
+	Model model.Config
+	// Layer maps (gpu, mbs, tp) to per-transformer-block timing.
+	Layer map[Key]LayerTiming
+	// Head maps (gpu, mbs, tp) to the extra cost of the output projection
+	// and loss on the last stage.
+	Head map[Key]LayerTiming
+	// MBSGrid and TPGrid record the profiled grid, ascending.
+	MBSGrid []int
+	TPGrid  map[core.GPUType][]int
+	// Net holds fitted transfer-time coefficients per link class; the
+	// planner composes them with zone topology.
+	Net map[hardware.LinkClass]hardware.PolyFit
+}
+
+// Options configures profile collection.
+type Options struct {
+	// MBSGrid lists microbatch sizes to profile; defaults to 1..32 powers
+	// of two.
+	MBSGrid []int
+	// Seed perturbs the synthetic measurement noise.
+	Seed uint64
+	// NoiseFrac is the relative magnitude of measurement noise (default 2%).
+	NoiseFrac float64
+}
+
+// Collect profiles the model on every GPU type in gpus, mirroring the
+// single-node-per-type methodology of §4.1 (repeated layers are profiled
+// once). The returned profile covers TP degrees up to the node size of each
+// GPU type (heuristic H1 never needs more).
+func Collect(cfg model.Config, gpus []core.GPUType, net *hardware.Network, opts Options) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("profiler: no GPU types given")
+	}
+	mbsGrid := opts.MBSGrid
+	if len(mbsGrid) == 0 {
+		mbsGrid = []int{1, 2, 4, 8, 16, 32}
+	}
+	sort.Ints(mbsGrid)
+	noise := opts.NoiseFrac
+	if noise == 0 {
+		noise = 0.02
+	}
+	p := &Profile{
+		Model:   cfg,
+		Layer:   map[Key]LayerTiming{},
+		Head:    map[Key]LayerTiming{},
+		MBSGrid: mbsGrid,
+		TPGrid:  map[core.GPUType][]int{},
+		Net:     map[hardware.LinkClass]hardware.PolyFit{},
+	}
+	for _, g := range gpus {
+		spec, err := hardware.Lookup(g)
+		if err != nil {
+			return nil, err
+		}
+		node := hardware.DefaultNodeType(g)
+		var tps []int
+		for tp := 1; tp <= node.GPUsPerNode; tp *= 2 {
+			tps = append(tps, tp)
+		}
+		p.TPGrid[g] = tps
+		for _, mbs := range mbsGrid {
+			for _, tp := range tps {
+				lt := BaseLayerTiming(spec, cfg, mbs, tp)
+				ht := BaseHeadTiming(spec, cfg, mbs, tp)
+				k := Key{g, mbs, tp}
+				p.Layer[k] = perturb(lt, opts.Seed, k, noise)
+				p.Head[k] = perturb(ht, opts.Seed, k, noise/2)
+			}
+		}
+	}
+	if net == nil {
+		net = hardware.DefaultNetwork()
+	}
+	zoneA := core.Zone{Region: "r0", Name: "r0-a"}
+	zoneB := core.Zone{Region: "r0", Name: "r0-b"}
+	zoneC := core.Zone{Region: "r1", Name: "r1-a"}
+	p.Net[hardware.IntraZone] = hardware.FitLink(net.Link(zoneA, zoneA))
+	p.Net[hardware.InterZone] = hardware.FitLink(net.Link(zoneA, zoneB))
+	p.Net[hardware.InterRegion] = hardware.FitLink(net.Link(zoneA, zoneC))
+	return p, nil
+}
+
+// LayerTimingFor returns the per-block timing for a key, interpolating over
+// the mbs grid when the exact microbatch size was not profiled.
+func (p *Profile) LayerTimingFor(g core.GPUType, mbs, tp int) (LayerTiming, error) {
+	return p.lookup(p.Layer, g, mbs, tp)
+}
+
+// HeadTimingFor returns the output-head timing for a key.
+func (p *Profile) HeadTimingFor(g core.GPUType, mbs, tp int) (LayerTiming, error) {
+	return p.lookup(p.Head, g, mbs, tp)
+}
+
+func (p *Profile) lookup(tab map[Key]LayerTiming, g core.GPUType, mbs, tp int) (LayerTiming, error) {
+	if t, ok := tab[Key{g, mbs, tp}]; ok {
+		return t, nil
+	}
+	// Linear interpolation in mbs between the bracketing grid points:
+	// per-layer time is affine in batch within a regime, so this matches
+	// how the real profiler handles unprofiled microbatch sizes.
+	grid, ok := p.TPGrid[g]
+	if !ok {
+		return LayerTiming{}, fmt.Errorf("profiler: GPU type %q not profiled", g)
+	}
+	tpOK := false
+	for _, t := range grid {
+		if t == tp {
+			tpOK = true
+			break
+		}
+	}
+	if !tpOK {
+		return LayerTiming{}, fmt.Errorf("profiler: tp=%d not profiled for %q", tp, g)
+	}
+	var lo, hi int
+	for _, m := range p.MBSGrid {
+		if m <= mbs {
+			lo = m
+		}
+		if m >= mbs {
+			hi = m
+			break
+		}
+	}
+	if lo == 0 || hi == 0 {
+		return LayerTiming{}, fmt.Errorf("profiler: mbs=%d outside profiled grid for %q", mbs, g)
+	}
+	a, b := tab[Key{g, lo, tp}], tab[Key{g, hi, tp}]
+	if lo == hi {
+		return a, nil
+	}
+	f := float64(mbs-lo) / float64(hi-lo)
+	return LayerTiming{
+		Fwd:    a.Fwd + f*(b.Fwd-a.Fwd),
+		Bwd:    a.Bwd + f*(b.Bwd-a.Bwd),
+		Update: a.Update + f*(b.Update-a.Update),
+	}, nil
+}
+
+// NetFit returns the fitted coefficients for a link class.
+func (p *Profile) NetFit(c hardware.LinkClass) hardware.PolyFit { return p.Net[c] }
+
+// BaseLayerTiming is the noise-free machine model for one transformer block:
+// compute time from the roofline (FLOPs over achieved throughput) plus the
+// tensor-parallel collective time over the intra-node link. Exported because
+// the ground-truth engine uses the same machine model (the profiler is,
+// after all, measuring that machine).
+func BaseLayerTiming(spec hardware.GPUSpec, cfg model.Config, mbs, tp int) LayerTiming {
+	eff := achievedEfficiency(spec, mbs, tp)
+	flops := spec.PeakTFLOPS * 1e12 * eff
+	fwd := cfg.LayerFwdFLOPs(mbs) / float64(tp) / flops
+	bwd := cfg.LayerBwdFLOPs(mbs) / float64(tp) / flops
+	if tp > 1 {
+		link := hardware.IntraNodeLink(spec.Type)
+		per := allReduceTime(link, cfg.BoundaryActivationBytes(mbs), tp)
+		fwd += 2 * per
+		bwd += 2 * per
+	}
+	// Optimizer update is memory-bound: Adam touches ~20 bytes/param
+	// (read p, m, v, g; write p, m, v in mixed precision).
+	params := float64(cfg.LayerParams()) / float64(tp)
+	update := params * 20 / (spec.MemBWGBs * 1e9)
+	return LayerTiming{Fwd: fwd, Bwd: bwd, Update: update}
+}
+
+// BaseHeadTiming is the noise-free cost of the output projection + loss.
+func BaseHeadTiming(spec hardware.GPUSpec, cfg model.Config, mbs, tp int) LayerTiming {
+	eff := achievedEfficiency(spec, mbs, tp)
+	flops := spec.PeakTFLOPS * 1e12 * eff
+	fwd := cfg.HeadFLOPs(mbs) / float64(tp) / flops
+	return LayerTiming{Fwd: fwd, Bwd: 2 * fwd, Update: 0}
+}
+
+// achievedEfficiency degrades the datasheet MFU for small microbatches
+// (kernel launch overhead, low occupancy) and for TP sharding (smaller
+// matmuls per rank).
+func achievedEfficiency(spec hardware.GPUSpec, mbs, tp int) float64 {
+	b := float64(mbs)
+	mbsFactor := b / (b + 0.35)
+	tpFactor := 1.0 / (1.0 + 0.06*float64(tp-1))
+	return spec.Efficiency * mbsFactor * tpFactor
+}
+
+// allReduceTime models a ring all-reduce of `bytes` over n ranks on a link:
+// 2*(n-1)/n chunks traverse the slowest hop.
+func allReduceTime(l hardware.LinkSpec, bytes int64, n int) float64 {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	chunk := float64(bytes) * 2 * float64(n-1) / float64(n)
+	return l.TransferTime(int64(chunk))
+}
+
+// perturb applies deterministic pseudo-measurement noise in [-frac, +frac],
+// keyed by the seed and table key, so profiles are stable across runs.
+func perturb(t LayerTiming, seed uint64, k Key, frac float64) LayerTiming {
+	f := func(tag string, v float64) float64 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s|%d|%d|%s", seed, k.GPU, k.MBS, k.TP, tag)
+		u := float64(h.Sum64()%(1<<20)) / float64(1<<20) // [0,1)
+		return v * (1 + frac*(2*u-1))
+	}
+	return LayerTiming{
+		Fwd:    f("fwd", t.Fwd),
+		Bwd:    f("bwd", t.Bwd),
+		Update: f("upd", t.Update),
+	}
+}
+
+// Overhead reports the simulated wall-clock cost of the profiling campaign
+// itself ("a couple of minutes" per §4.1): one node per GPU type, one layer
+// instance, the full (mbs, tp) grid with a handful of timed steps each.
+func Overhead(p *Profile) float64 {
+	const stepsPerPoint = 10
+	total := 0.0
+	for k, lt := range p.Layer {
+		_ = k
+		total += stepsPerPoint * (lt.Fwd + lt.Bwd + lt.Update)
+	}
+	// Setup cost per grid point (graph build, allocator warm-up).
+	total += float64(len(p.Layer)) * 0.5
+	return total
+}

@@ -1,0 +1,181 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/model"
+)
+
+func collect(t *testing.T, gpus ...core.GPUType) *Profile {
+	t.Helper()
+	p, err := Collect(model.OPT350M(), gpus, nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return p
+}
+
+func TestCollectCoversGrid(t *testing.T) {
+	p := collect(t, core.A100, core.V100)
+	for _, g := range []core.GPUType{core.A100, core.V100} {
+		for _, mbs := range p.MBSGrid {
+			for _, tp := range p.TPGrid[g] {
+				lt, err := p.LayerTimingFor(g, mbs, tp)
+				if err != nil {
+					t.Fatalf("missing grid point %s mbs=%d tp=%d: %v", g, mbs, tp, err)
+				}
+				if lt.Fwd <= 0 || lt.Bwd <= 0 || lt.Update <= 0 {
+					t.Fatalf("nonpositive timing at %s mbs=%d tp=%d: %+v", g, mbs, tp, lt)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	if _, err := Collect(model.OPT350M(), nil, nil, Options{}); err == nil {
+		t.Error("want error with no GPUs")
+	}
+	bad := model.OPT350M()
+	bad.Layers = 0
+	if _, err := Collect(bad, []core.GPUType{core.A100}, nil, Options{}); err == nil {
+		t.Error("want error for invalid model")
+	}
+	if _, err := Collect(model.OPT350M(), []core.GPUType{"No-Such-GPU"}, nil, Options{}); err == nil {
+		t.Error("want error for unknown GPU")
+	}
+}
+
+func TestBackwardIsTwiceForward(t *testing.T) {
+	spec := hardware.MustLookup(core.A100)
+	lt := BaseLayerTiming(spec, model.OPT350M(), 4, 1)
+	if r := lt.Bwd / lt.Fwd; math.Abs(r-2) > 0.01 {
+		t.Errorf("bwd/fwd = %v, want ~2 at TP=1", r)
+	}
+}
+
+func TestA100FasterThanV100(t *testing.T) {
+	p := collect(t, core.A100, core.V100)
+	a, _ := p.LayerTimingFor(core.A100, 4, 1)
+	v, _ := p.LayerTimingFor(core.V100, 4, 1)
+	if a.Fwd >= v.Fwd {
+		t.Errorf("A100 fwd %v should beat V100 %v", a.Fwd, v.Fwd)
+	}
+	// Ratio should roughly track effective FLOPs ratio (~3x), the quantity
+	// the planner's load balancing relies on.
+	r := v.Fwd / a.Fwd
+	if r < 2 || r > 5 {
+		t.Errorf("V100/A100 fwd ratio = %v, want 2-5x", r)
+	}
+}
+
+func TestTPReducesComputeButNotLinearly(t *testing.T) {
+	p := collect(t, core.A100)
+	t1, _ := p.LayerTimingFor(core.A100, 8, 1)
+	t4, _ := p.LayerTimingFor(core.A100, 8, 4)
+	if t4.Fwd >= t1.Fwd {
+		t.Fatalf("TP=4 should cut fwd time: %v >= %v", t4.Fwd, t1.Fwd)
+	}
+	if t4.Fwd <= t1.Fwd/4 {
+		t.Fatalf("TP=4 cannot be superlinear (collectives cost): %v <= %v", t4.Fwd, t1.Fwd/4)
+	}
+}
+
+func TestInterpolationBetweenGridPoints(t *testing.T) {
+	p := collect(t, core.A100)
+	t2, _ := p.LayerTimingFor(core.A100, 2, 1)
+	t3, err := p.LayerTimingFor(core.A100, 3, 1) // not on the grid
+	if err != nil {
+		t.Fatalf("interpolation failed: %v", err)
+	}
+	t4, _ := p.LayerTimingFor(core.A100, 4, 1)
+	if !(t2.Fwd < t3.Fwd && t3.Fwd < t4.Fwd) {
+		t.Errorf("interpolated point not between neighbours: %v %v %v", t2.Fwd, t3.Fwd, t4.Fwd)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	p := collect(t, core.A100)
+	if _, err := p.LayerTimingFor(core.V100, 4, 1); err == nil {
+		t.Error("want error for unprofiled GPU")
+	}
+	if _, err := p.LayerTimingFor(core.A100, 4, 64); err == nil {
+		t.Error("want error for unprofiled TP")
+	}
+	if _, err := p.LayerTimingFor(core.A100, 1024, 1); err == nil {
+		t.Error("want error for mbs beyond grid")
+	}
+}
+
+func TestNoiseIsDeterministic(t *testing.T) {
+	a := collect(t, core.A100)
+	b := collect(t, core.A100)
+	la, _ := a.LayerTimingFor(core.A100, 4, 2)
+	lb, _ := b.LayerTimingFor(core.A100, 4, 2)
+	if la != lb {
+		t.Errorf("same seed must reproduce identical profiles: %+v vs %+v", la, lb)
+	}
+	c, err := Collect(model.OPT350M(), []core.GPUType{core.A100}, nil, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := c.LayerTimingFor(core.A100, 4, 2)
+	if lc == la {
+		t.Error("different seeds should perturb differently")
+	}
+}
+
+func TestNoiseIsSmall(t *testing.T) {
+	p := collect(t, core.A100)
+	spec := hardware.MustLookup(core.A100)
+	base := BaseLayerTiming(spec, model.OPT350M(), 4, 1)
+	got, _ := p.LayerTimingFor(core.A100, 4, 1)
+	if rel := math.Abs(got.Fwd-base.Fwd) / base.Fwd; rel > 0.03 {
+		t.Errorf("measurement noise %v exceeds 3%%", rel)
+	}
+}
+
+func TestHeadTimingOnlyMattersAtLastStage(t *testing.T) {
+	p := collect(t, core.A100)
+	h, err := p.HeadTimingFor(core.A100, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := p.LayerTimingFor(core.A100, 4, 1)
+	if h.Fwd <= 0 {
+		t.Fatal("head must cost something")
+	}
+	// The vocab projection for OPT-350M is several layer-equivalents.
+	if h.Fwd < l.Fwd {
+		t.Errorf("head fwd %v should exceed one layer %v for a 50k vocab", h.Fwd, l.Fwd)
+	}
+}
+
+func TestNetworkCoefficientsFitted(t *testing.T) {
+	p := collect(t, core.A100)
+	for _, c := range []hardware.LinkClass{hardware.IntraZone, hardware.InterZone, hardware.InterRegion} {
+		fit := p.NetFit(c)
+		if fit.Eval(64<<20) <= 0 {
+			t.Errorf("%v: no usable fit", c)
+		}
+	}
+	// Ordering must survive the fit.
+	m := int64(128 << 20)
+	if !(p.NetFit(hardware.IntraZone).Eval(m) <= p.NetFit(hardware.InterZone).Eval(m) &&
+		p.NetFit(hardware.InterZone).Eval(m) < p.NetFit(hardware.InterRegion).Eval(m)) {
+		t.Error("fitted link tiers lost their ordering")
+	}
+}
+
+func TestProfilingOverheadIsMinutes(t *testing.T) {
+	p := collect(t, core.A100, core.V100)
+	o := Overhead(p)
+	// §4.1: "a couple of minutes". Anything from seconds to ~1 h passes;
+	// the point is it is not days.
+	if o <= 0 || o > 3600 {
+		t.Errorf("profiling overhead = %v s, want positive and under an hour", o)
+	}
+}

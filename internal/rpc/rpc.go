@@ -1,0 +1,278 @@
+// Package rpc is a minimal request/response message layer over TCP, the
+// stand-in for the paper's gRPC control plane (§5.5 "topology broadcast
+// (using grpc)"). Frames are length-prefixed JSON; each request carries an
+// id echoed by the response, so one connection multiplexes concurrent
+// calls. Stdlib only.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds a frame to keep a corrupt length prefix from allocating
+// unbounded memory.
+const MaxFrame = 64 << 20
+
+// frame writes one length-prefixed JSON message.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON message into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// envelope wraps every wire message.
+type envelope struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// Handler serves one method: it receives the raw request body and returns
+// the response value or an error.
+type Handler func(body json.RawMessage) (any, error)
+
+// Server dispatches incoming calls on a listener.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	conns    map[net.Conn]struct{}
+	lis      net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewServer returns a server that owns the listener.
+func NewServer(lis net.Listener) *Server {
+	return &Server{
+		handlers: map[string]Handler{},
+		conns:    map[net.Conn]struct{}{},
+		lis:      lis,
+		closed:   make(chan struct{}),
+	}
+}
+
+// Handle registers a method handler; it must be called before Serve.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Serve accepts connections until Close; it returns after the listener
+// closes.
+func (s *Server) Serve() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var wmu sync.Mutex
+	w := bufio.NewWriter(conn)
+	reply := func(env envelope) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeFrame(w, env); err == nil {
+			w.Flush()
+		}
+	}
+	for {
+		var req envelope
+		if err := readFrame(r, &req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[req.Method]
+		s.mu.RUnlock()
+		go func(req envelope) {
+			if h == nil {
+				reply(envelope{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)})
+				return
+			}
+			out, err := h(req.Body)
+			if err != nil {
+				reply(envelope{ID: req.ID, Err: err.Error()})
+				return
+			}
+			body, err := json.Marshal(out)
+			if err != nil {
+				reply(envelope{ID: req.ID, Err: err.Error()})
+				return
+			}
+			reply(envelope{ID: req.ID, Body: body})
+		}(req)
+	}
+}
+
+// Close stops accepting, tears down active connections, and waits for the
+// connection goroutines to drain. Pending calls on those connections fail.
+func (s *Server) Close() {
+	close(s.closed)
+	s.lis.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Client multiplexes calls over one connection.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan envelope
+	err     error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: map[uint64]chan envelope{},
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	r := bufio.NewReader(c.conn)
+	for {
+		var env envelope
+		if err := readFrame(r, &env); err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("rpc: connection lost: %w", err)
+			for id, ch := range c.pending {
+				ch <- envelope{ID: id, Err: c.err.Error()}
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[env.ID]
+		delete(c.pending, env.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- env
+		}
+	}
+}
+
+// Call invokes method with req, decoding the response into resp (which may
+// be nil for fire-and-check calls).
+func (c *Client) Call(method string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	ch := make(chan envelope, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err = writeFrame(c.w, envelope{ID: id, Method: method, Body: body})
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+
+	env := <-ch
+	if env.Err != "" {
+		return errors.New(env.Err)
+	}
+	if resp != nil {
+		return json.Unmarshal(env.Body, resp)
+	}
+	return nil
+}
+
+// Close tears the connection down; pending calls fail.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,150 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lis)
+	s.Handle("echo", func(body json.RawMessage) (any, error) {
+		var msg string
+		if err := json.Unmarshal(body, &msg); err != nil {
+			return nil, err
+		}
+		return msg, nil
+	})
+	s.Handle("add", func(body json.RawMessage) (any, error) {
+		var in [2]int
+		if err := json.Unmarshal(body, &in); err != nil {
+			return nil, err
+		}
+		return in[0] + in[1], nil
+	})
+	s.Handle("fail", func(json.RawMessage) (any, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	go s.Serve()
+	t.Cleanup(s.Close)
+	return s, lis.Addr().String()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out string
+	if err := c.Call("echo", "hello", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello" {
+		t.Errorf("echo = %q", out)
+	}
+	var sum int
+	if err := c.Call("add", [2]int{3, 4}, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 7 {
+		t.Errorf("add = %d", sum)
+	}
+}
+
+func TestServerError(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("fail", nil, nil); err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Errorf("want handler error, got %v", err)
+	}
+	if err := c.Call("nope", nil, nil); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("want unknown-method error, got %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sum int
+			if err := c.Call("add", [2]int{i, i}, &sum); err != nil {
+				errs <- err
+				return
+			}
+			if sum != 2*i {
+				errs <- fmt.Errorf("call %d: got %d", i, sum)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestConnectionLossFailsPending(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lis)
+	block := make(chan struct{})
+	s.Handle("hang", func(json.RawMessage) (any, error) {
+		<-block
+		return nil, nil
+	})
+	go s.Serve()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Call("hang", nil, nil) }()
+	// Kill the server while the call is in flight.
+	s.Close()
+	close(block)
+	if err := <-done; err == nil {
+		t.Fatal("pending call must fail on connection loss")
+	}
+	// Subsequent calls fail fast.
+	if err := c.Call("hang", nil, nil); err == nil {
+		t.Fatal("calls on a dead client must fail")
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := strings.Repeat("x", MaxFrame+1)
+	if err := c.Call("echo", big, nil); err == nil {
+		t.Fatal("oversized frame must be rejected")
+	}
+}

@@ -1,0 +1,72 @@
+package runtime
+
+import (
+	"sync"
+)
+
+// CheckpointManager implements the asynchronous checkpointing of §4.4
+// ([39, 57]-style): a snapshot of iteration N is taken without blocking
+// training; it becomes the rollback point only once the (simulated) flush
+// finishes. Reconfiguration restarts from the latest *completed* checkpoint,
+// so the rollback cost is the iterations trained past it.
+type CheckpointManager struct {
+	mu sync.Mutex
+	// Every stores the checkpoint interval in iterations.
+	Every int
+	// FlushTime is the virtual seconds a snapshot takes to persist.
+	FlushTime float64
+
+	lastCompleted int     // iteration of the newest durable checkpoint
+	pendingIter   int     // iteration of the in-flight snapshot, -1 if none
+	pendingDone   float64 // virtual time when the in-flight snapshot lands
+}
+
+// NewCheckpointManager returns a manager checkpointing every `every`
+// iterations with the given flush latency.
+func NewCheckpointManager(every int, flushTime float64) *CheckpointManager {
+	return &CheckpointManager{Every: every, FlushTime: flushTime, lastCompleted: 0, pendingIter: -1}
+}
+
+// OnIteration notifies the manager that training finished iteration `iter`
+// at virtual time `now`; it may start an async snapshot. Completed pending
+// snapshots are promoted first.
+func (c *CheckpointManager) OnIteration(iter int, now float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.promote(now)
+	if c.Every <= 0 || iter%c.Every != 0 {
+		return
+	}
+	if c.pendingIter >= 0 {
+		return // previous snapshot still flushing; skip (async semantics)
+	}
+	c.pendingIter = iter
+	c.pendingDone = now + c.FlushTime
+}
+
+// promote moves a finished pending snapshot to completed. Callers hold mu.
+func (c *CheckpointManager) promote(now float64) {
+	if c.pendingIter >= 0 && now >= c.pendingDone {
+		c.lastCompleted = c.pendingIter
+		c.pendingIter = -1
+	}
+}
+
+// Rollback returns the iteration training must resume from at virtual time
+// `now` (the latest durable checkpoint), discarding any still-flushing
+// snapshot — it is lost when workers are reconfigured.
+func (c *CheckpointManager) Rollback(now float64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.promote(now)
+	c.pendingIter = -1
+	return c.lastCompleted
+}
+
+// LastCompleted returns the newest durable checkpoint iteration.
+func (c *CheckpointManager) LastCompleted(now float64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.promote(now)
+	return c.lastCompleted
+}

@@ -1,0 +1,336 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/groundtruth"
+	"repro/internal/planner"
+	"repro/internal/trace"
+)
+
+// PhaseTimings is the §5.5 reconfiguration breakdown, in virtual seconds
+// except Planning, which is measured wall-clock of the real planner call.
+type PhaseTimings struct {
+	Planning   float64
+	Cleanup    float64
+	Broadcast  float64
+	GroupInit  float64
+	ModelRedef float64
+	Dataloader float64
+	CkptLoad   float64
+	// RolledBackIters counts training iterations lost to the checkpoint
+	// rollback.
+	RolledBackIters int
+}
+
+// Total returns the full downtime of one reconfiguration.
+func (p PhaseTimings) Total() float64 {
+	return p.Planning + p.Cleanup + p.Broadcast + p.GroupInit + p.ModelRedef + p.Dataloader + p.CkptLoad
+}
+
+// broadcast cost model: topology fan-out over the control plane
+// (~1.25 s at 16 workers in §5.5), growing gently with worker count.
+func broadcastSec(workers int) float64 {
+	return 0.8 + 0.028*float64(workers)
+}
+
+// Report summarises an elastic training run.
+type Report struct {
+	IterationsDone   int
+	VirtualSeconds   float64
+	Reconfigs        []PhaseTimings
+	PlansUsed        []core.Plan
+	LostIterations   int
+	CheckpointsTaken int
+}
+
+// Controller is the Sailor job controller: it owns the workers, watches
+// availability, re-invokes the planner on changes, and drives kill-free
+// reconfiguration (§4.4).
+type Controller struct {
+	Cfg     ControllerConfig
+	workers map[int]WorkerConn
+	topo    *Topology
+	ckpt    *CheckpointManager
+	now     float64 // virtual time, seconds
+	iter    int     // global iteration counter
+}
+
+// ControllerConfig wires the controller's collaborators.
+type ControllerConfig struct {
+	Planner *planner.Planner
+	GT      *groundtruth.Engine
+	// CheckpointEvery is the checkpoint interval in iterations.
+	CheckpointEvery int
+	// CheckpointFlushSec is the async snapshot flush latency.
+	CheckpointFlushSec float64
+	// SpawnWorker creates worker id when the plan grows. Defaults to
+	// in-process workers; tests and deployments inject RemoteWorker
+	// factories here to run workers in other processes over the rpc
+	// control plane.
+	SpawnWorker func(id int) WorkerConn
+}
+
+// NewController returns an idle controller.
+func NewController(cfg ControllerConfig) *Controller {
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 10
+	}
+	if cfg.CheckpointFlushSec == 0 {
+		cfg.CheckpointFlushSec = 5
+	}
+	if cfg.SpawnWorker == nil {
+		cfg.SpawnWorker = func(id int) WorkerConn { return NewWorker(id) }
+	}
+	return &Controller{
+		Cfg:     cfg,
+		workers: map[int]WorkerConn{},
+		ckpt:    NewCheckpointManager(cfg.CheckpointEvery, cfg.CheckpointFlushSec),
+	}
+}
+
+// Deploy plans against a pool and sets up workers for the result. It
+// returns the reconfiguration timings of the initial launch.
+func (c *Controller) Deploy(pool *cluster.Pool) (PhaseTimings, error) {
+	return c.reconfigure(pool)
+}
+
+// reconfigure is the kill-free path of §4.4: re-plan, instruct existing
+// workers to destroy groups and free memory, broadcast the new topology,
+// set up groups/model/dataloaders, and resume from the newest durable
+// checkpoint. Workers are reused; only the delta is spawned or retired.
+func (c *Controller) reconfigure(pool *cluster.Pool) (PhaseTimings, error) {
+	var t PhaseTimings
+
+	// Phase 1: planning (real planner, wall-clock measured).
+	start := time.Now()
+	res, err := c.Cfg.Planner.Plan(pool)
+	if err != nil {
+		return t, fmt.Errorf("runtime: replan failed: %w", err)
+	}
+	t.Planning = time.Since(start).Seconds()
+
+	topo, err := BuildTopology(res.Plan)
+	if err != nil {
+		return t, err
+	}
+
+	// Phase 2: existing live workers destroy communicators and free GPU
+	// memory (kill-free: processes stay up). Parallel across workers, so
+	// the phase costs the max.
+	for id, w := range c.workers {
+		if !w.Alive() {
+			w.Shutdown()
+			delete(c.workers, id)
+			continue
+		}
+		sec, err := w.Cleanup()
+		if err != nil {
+			w.Shutdown()
+			delete(c.workers, id)
+			continue
+		}
+		if sec > t.Cleanup {
+			t.Cleanup = sec
+		}
+	}
+
+	// Spawn or retire workers to match the new world size. The controller
+	// "waits for new workers to initialize before updating the training
+	// configuration" — their spawn cost rides the group-init phase.
+	for id := 0; id < topo.WorldSize; id++ {
+		if _, ok := c.workers[id]; !ok {
+			c.workers[id] = c.Cfg.SpawnWorker(id)
+		}
+	}
+	for id, w := range c.workers {
+		if id >= topo.WorldSize {
+			w.Shutdown()
+			delete(c.workers, id)
+		}
+	}
+
+	// Phase 3: broadcast plan + rank topology.
+	t.Broadcast = broadcastSec(topo.WorldSize)
+
+	// Phase 4-6: every worker initialises communicators, redefines model
+	// and optimizer state, rebuilds dataloaders. Parallel; phase = max.
+	groups := topo.GroupCount()
+	for id, w := range c.workers {
+		sec, err := w.Setup(id, topo.WorldSize, groups)
+		if err != nil {
+			return t, fmt.Errorf("runtime: worker %d setup: %w", id, err)
+		}
+		gi := groupInitBaseSec + groupInitPerRank*float64(topo.WorldSize)
+		if gi > t.GroupInit {
+			t.GroupInit = gi
+		}
+		if sec-gi > t.ModelRedef+t.Dataloader {
+			t.ModelRedef = modelRedefSec
+			t.Dataloader = dataloaderSec
+		}
+	}
+
+	// Phase 7: resume from the newest durable checkpoint.
+	resume := c.ckpt.Rollback(c.now)
+	if c.iter > resume {
+		t.RolledBackIters = c.iter - resume
+		c.iter = resume
+	}
+	if topo.WorldSize > 0 {
+		sec, err := c.workers[0].LoadCheckpoint(resume)
+		if err == nil {
+			t.CkptLoad = sec
+		}
+	}
+
+	c.topo = topo
+	c.now += t.Total()
+	return t, nil
+}
+
+// Plan returns the currently deployed plan.
+func (c *Controller) Plan() (core.Plan, error) {
+	if c.topo == nil {
+		return core.Plan{}, fmt.Errorf("runtime: no plan deployed")
+	}
+	return c.topo.Plan, nil
+}
+
+// TrainFor advances training by `seconds` of virtual time, returning the
+// iterations completed. Iteration duration comes from the ground-truth
+// engine for the deployed plan.
+func (c *Controller) TrainFor(seconds float64) (int, error) {
+	if c.topo == nil {
+		return 0, fmt.Errorf("runtime: not deployed")
+	}
+	est, err := c.Cfg.GT.Measure(c.topo.Plan)
+	if err != nil {
+		return 0, err
+	}
+	if !est.FitsMemory {
+		return 0, fmt.Errorf("runtime: deployed plan OOMs")
+	}
+	done := 0
+	budget := seconds
+	for budget >= est.IterTime {
+		budget -= est.IterTime
+		c.now += est.IterTime
+		c.iter++
+		done++
+		c.ckpt.OnIteration(c.iter, c.now)
+	}
+	c.now += budget
+	return done, nil
+}
+
+// Iteration returns the global iteration counter.
+func (c *Controller) Iteration() int { return c.iter }
+
+// Now returns the virtual clock.
+func (c *Controller) Now() float64 { return c.now }
+
+// KillWorkersOn simulates preemption of all workers placed on (zone, gpu):
+// the availability trace reclaimed those GPUs.
+func (c *Controller) KillWorkersOn(z core.Zone, g core.GPUType) int {
+	if c.topo == nil {
+		return 0
+	}
+	killed := 0
+	for id, w := range c.workers {
+		info, err := c.topo.Locate(id)
+		if err != nil {
+			continue
+		}
+		if info.Zone == z && info.GPU == g && w.Alive() {
+			w.Kill()
+			killed++
+		}
+	}
+	return killed
+}
+
+// Shutdown stops all workers.
+func (c *Controller) Shutdown() {
+	for id, w := range c.workers {
+		w.Shutdown()
+		delete(c.workers, id)
+	}
+}
+
+// RunElastic replays an availability trace (§5.2's dynamic environments):
+// deploy on the initial pool, train between events, reconfigure at each
+// availability change (killing preempted workers first), and report
+// iterations, downtime, and rollbacks.
+func (c *Controller) RunElastic(tr *trace.Trace, step time.Duration) (Report, error) {
+	defer c.Shutdown()
+	var rep Report
+
+	pool := tr.PoolAt(0)
+	lastPool := ""
+	if pool.TotalGPUs() > 0 {
+		t, err := c.Deploy(pool)
+		if err == nil {
+			rep.Reconfigs = append(rep.Reconfigs, t)
+			p, _ := c.Plan()
+			rep.PlansUsed = append(rep.PlansUsed, p)
+			lastPool = pool.String()
+		}
+	}
+
+	prev := time.Duration(0)
+	for _, ev := range tr.Events {
+		if ev.At > prev && c.topo != nil {
+			span := ev.At - prev
+			n, err := c.TrainFor(span.Seconds())
+			if err == nil {
+				rep.IterationsDone += n
+			}
+		}
+		prev = ev.At
+		// Preemption: workers on reclaimed capacity die; the controller's
+		// monitor notices and triggers a replan.
+		if ev.Delta < 0 {
+			c.KillWorkersOn(ev.Zone, ev.GPU)
+		}
+		pool := tr.PoolAt(ev.At)
+		if pool.TotalGPUs() == 0 {
+			continue
+		}
+		// Only replan when availability actually changed; the monitor
+		// coalesces no-op events.
+		if s := pool.String(); s == lastPool {
+			continue
+		} else {
+			lastPool = s
+		}
+		before := c.iter
+		t, err := c.reconfigure(pool)
+		if err != nil {
+			continue
+		}
+		rep.LostIterations += before - c.iter
+		rep.Reconfigs = append(rep.Reconfigs, t)
+		p, _ := c.Plan()
+		rep.PlansUsed = append(rep.PlansUsed, p)
+	}
+	if c.topo != nil && tr.Horizon > prev {
+		n, err := c.TrainFor((tr.Horizon - prev).Seconds())
+		if err == nil {
+			rep.IterationsDone += n
+		}
+	}
+	rep.VirtualSeconds = c.now
+	rep.CheckpointsTaken = c.ckpt.LastCompleted(c.now) / maxInt(1, c.Cfg.CheckpointEvery)
+	return rep, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/rpc"
+)
+
+// The networked control plane: a worker process serves its WorkerConn over
+// TCP (ServeWorker) and the controller drives it through a RemoteWorker,
+// mirroring the paper's gRPC-based controller/worker split (§4.4, §5.5).
+
+// Wire types for the worker control protocol.
+type setupReq struct {
+	Rank       int `json:"rank"`
+	WorldSize  int `json:"world_size"`
+	GroupCount int `json:"group_count"`
+}
+
+type loadReq struct {
+	Iter int `json:"iter"`
+}
+
+type opResp struct {
+	Seconds float64 `json:"seconds"`
+}
+
+// ServeWorker exposes a local worker on a listener and returns the running
+// server. The caller owns both and shuts the server down first.
+func ServeWorker(lis net.Listener, w *Worker) *rpc.Server {
+	srv := rpc.NewServer(lis)
+	srv.Handle("worker.setup", func(body json.RawMessage) (any, error) {
+		var req setupReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		sec, err := w.Setup(req.Rank, req.WorldSize, req.GroupCount)
+		if err != nil {
+			return nil, err
+		}
+		return opResp{Seconds: sec}, nil
+	})
+	srv.Handle("worker.cleanup", func(json.RawMessage) (any, error) {
+		sec, err := w.Cleanup()
+		if err != nil {
+			return nil, err
+		}
+		return opResp{Seconds: sec}, nil
+	})
+	srv.Handle("worker.load", func(body json.RawMessage) (any, error) {
+		var req loadReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		sec, err := w.LoadCheckpoint(req.Iter)
+		if err != nil {
+			return nil, err
+		}
+		return opResp{Seconds: sec}, nil
+	})
+	srv.Handle("worker.ping", func(json.RawMessage) (any, error) {
+		if !w.Alive() {
+			return nil, fmt.Errorf("runtime: worker dead")
+		}
+		return opResp{}, nil
+	})
+	go srv.Serve()
+	return srv
+}
+
+// RemoteWorker is the controller-side proxy for a worker served elsewhere.
+type RemoteWorker struct {
+	id     int
+	client *rpc.Client
+
+	mu     sync.Mutex
+	killed bool
+	ready  bool
+}
+
+var _ WorkerConn = (*RemoteWorker)(nil)
+
+// DialWorker connects to a worker's control endpoint.
+func DialWorker(id int, addr string) (*RemoteWorker, error) {
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: dial worker %d: %w", id, err)
+	}
+	return &RemoteWorker{id: id, client: c}, nil
+}
+
+func (r *RemoteWorker) call(method string, req any) (float64, error) {
+	r.mu.Lock()
+	killed := r.killed
+	r.mu.Unlock()
+	if killed {
+		return 0, fmt.Errorf("runtime: worker %d is dead", r.id)
+	}
+	var resp opResp
+	if err := r.client.Call(method, req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Seconds, nil
+}
+
+// Setup implements WorkerConn.
+func (r *RemoteWorker) Setup(rank, worldSize, groupCount int) (float64, error) {
+	sec, err := r.call("worker.setup", setupReq{Rank: rank, WorldSize: worldSize, GroupCount: groupCount})
+	if err == nil {
+		r.mu.Lock()
+		r.ready = true
+		r.mu.Unlock()
+	}
+	return sec, err
+}
+
+// Cleanup implements WorkerConn.
+func (r *RemoteWorker) Cleanup() (float64, error) {
+	sec, err := r.call("worker.cleanup", struct{}{})
+	if err == nil {
+		r.mu.Lock()
+		r.ready = false
+		r.mu.Unlock()
+	}
+	return sec, err
+}
+
+// LoadCheckpoint implements WorkerConn.
+func (r *RemoteWorker) LoadCheckpoint(iter int) (float64, error) {
+	return r.call("worker.load", loadReq{Iter: iter})
+}
+
+// Ready implements WorkerConn (controller-side view).
+func (r *RemoteWorker) Ready() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ready && !r.killed
+}
+
+// Alive implements WorkerConn: a real heartbeat over the control plane.
+func (r *RemoteWorker) Alive() bool {
+	r.mu.Lock()
+	if r.killed {
+		r.mu.Unlock()
+		return false
+	}
+	r.mu.Unlock()
+	_, err := r.call("worker.ping", struct{}{})
+	return err == nil
+}
+
+// Kill implements WorkerConn: the controller marks the peer preempted and
+// stops talking to it (the process itself is gone in a real preemption).
+func (r *RemoteWorker) Kill() {
+	r.mu.Lock()
+	r.killed = true
+	r.mu.Unlock()
+}
+
+// Shutdown implements WorkerConn: closes the control connection.
+func (r *RemoteWorker) Shutdown() {
+	r.Kill()
+	r.client.Close()
+}

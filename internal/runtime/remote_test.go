@@ -1,0 +1,130 @@
+package runtime
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rpc"
+)
+
+// spawnTCPWorker serves a fresh worker over loopback TCP and returns a
+// connected proxy.
+func spawnTCPWorker(t *testing.T, id int) (*RemoteWorker, *Worker, *rpc.Server) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(id)
+	srv := ServeWorker(lis, w)
+	proxy, err := DialWorker(id, lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		proxy.Shutdown()
+		srv.Close()
+		w.Shutdown()
+	})
+	return proxy, w, srv
+}
+
+func TestRemoteWorkerLifecycle(t *testing.T) {
+	proxy, local, _ := spawnTCPWorker(t, 0)
+	sec, err := proxy.Setup(0, 16, 24)
+	if err != nil || sec <= 0 {
+		t.Fatalf("remote setup: %v %v", sec, err)
+	}
+	if !local.Ready() {
+		t.Fatal("the real worker behind the proxy must be set up")
+	}
+	if !proxy.Alive() {
+		t.Fatal("heartbeat should succeed")
+	}
+	if _, err := proxy.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if local.Ready() {
+		t.Fatal("cleanup must reach the real worker")
+	}
+}
+
+func TestRemoteWorkerHeartbeatDetectsDeath(t *testing.T) {
+	proxy, local, _ := spawnTCPWorker(t, 0)
+	if !proxy.Alive() {
+		t.Fatal("worker should start alive")
+	}
+	local.Kill() // the remote process is preempted
+	if proxy.Alive() {
+		t.Fatal("heartbeat must detect the dead worker")
+	}
+}
+
+func TestRemoteWorkerKilledProxyRefuses(t *testing.T) {
+	proxy, _, _ := spawnTCPWorker(t, 0)
+	proxy.Kill()
+	if _, err := proxy.Setup(0, 4, 4); err == nil {
+		t.Fatal("killed proxy must refuse commands")
+	}
+	if proxy.Alive() {
+		t.Fatal("killed proxy is not alive")
+	}
+}
+
+// TestControllerOverTCP runs the full controller against workers served
+// over real TCP connections — the networked equivalent of §5.5.
+func TestControllerOverTCP(t *testing.T) {
+	cfg := model.OPT350M()
+	c := newController(t, cfg, core.V100)
+	var servers []*rpc.Server
+	var locals []*Worker
+	c.Cfg.SpawnWorker = func(id int) WorkerConn {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		w := NewWorker(id)
+		srv := ServeWorker(lis, w)
+		servers = append(servers, srv)
+		locals = append(locals, w)
+		proxy, err := DialWorker(id, lis.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return proxy
+	}
+	defer func() {
+		c.Shutdown()
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, w := range locals {
+			w.Shutdown()
+		}
+	}()
+
+	timings, err := c.Deploy(cluster.NewPool().Set(zoneA, core.V100, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timings.GroupInit <= 0 {
+		t.Error("group init phase missing over TCP")
+	}
+	if n, err := c.TrainFor(600); err != nil || n <= 0 {
+		t.Fatalf("training over TCP workers: n=%d err=%v", n, err)
+	}
+	// Grow the pool: reconfiguration crosses the wire too.
+	if _, err := c.Deploy(cluster.NewPool().Set(zoneA, core.V100, 12)); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.GPUCount() > 12 {
+		t.Errorf("plan uses %d GPUs, only 12 available", plan.GPUCount())
+	}
+}

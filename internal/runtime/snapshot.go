@@ -1,0 +1,203 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SnapshotStore persists checkpoint shards to disk, the durable half of the
+// asynchronous checkpointing of §4.4: workers hand over their (simulated)
+// state blobs, the store writes them in the background, and a checkpoint
+// becomes restorable only once every shard of that iteration is fsync'd and
+// its manifest is committed. Partial checkpoints are ignored on restore,
+// so a crash or preemption mid-flush never corrupts recovery.
+//
+// Layout: <dir>/ckpt-<iter>/shard-<rank>.bin (CRC-framed) plus
+// <dir>/ckpt-<iter>/MANIFEST written last.
+type SnapshotStore struct {
+	dir string
+
+	mu     sync.Mutex
+	writes sync.WaitGroup
+	errs   []error
+}
+
+// NewSnapshotStore creates (or reuses) the checkpoint directory.
+func NewSnapshotStore(dir string) (*SnapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runtime: snapshot dir: %w", err)
+	}
+	return &SnapshotStore{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *SnapshotStore) Dir() string { return s.dir }
+
+func (s *SnapshotStore) ckptDir(iter int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-%08d", iter))
+}
+
+// WriteShard asynchronously persists one worker's state blob for the
+// checkpoint at iteration `iter`. It returns immediately; Commit waits for
+// completion.
+func (s *SnapshotStore) WriteShard(iter, rank int, state []byte) {
+	blob := append([]byte(nil), state...) // caller may reuse its buffer
+	s.writes.Add(1)
+	go func() {
+		defer s.writes.Done()
+		if err := s.writeShardSync(iter, rank, blob); err != nil {
+			s.mu.Lock()
+			s.errs = append(s.errs, err)
+			s.mu.Unlock()
+		}
+	}()
+}
+
+func (s *SnapshotStore) writeShardSync(iter, rank int, state []byte) error {
+	dir := s.ckptDir(iter)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Frame: [len u64][crc32 u32][payload]. Write to a temp file and
+	// rename so a torn write never masquerades as a shard.
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(len(state)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(state))
+	tmp := filepath.Join(dir, fmt.Sprintf(".shard-%06d.tmp", rank))
+	final := filepath.Join(dir, fmt.Sprintf("shard-%06d.bin", rank))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(state); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// Commit waits for in-flight shard writes of iteration `iter` and, if all
+// `shards` are present and healthy, writes the manifest that makes the
+// checkpoint restorable.
+func (s *SnapshotStore) Commit(iter, shards int) error {
+	s.writes.Wait()
+	s.mu.Lock()
+	if len(s.errs) > 0 {
+		err := s.errs[0]
+		s.errs = nil
+		s.mu.Unlock()
+		return fmt.Errorf("runtime: shard write failed: %w", err)
+	}
+	s.mu.Unlock()
+	dir := s.ckptDir(iter)
+	for r := 0; r < shards; r++ {
+		if _, _, err := s.readShard(iter, r); err != nil {
+			return fmt.Errorf("runtime: checkpoint %d incomplete: %w", iter, err)
+		}
+	}
+	manifest := filepath.Join(dir, "MANIFEST")
+	body := fmt.Sprintf("iter=%d shards=%d\n", iter, shards)
+	tmp := manifest + ".tmp"
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, manifest)
+}
+
+// readShard loads and verifies one shard.
+func (s *SnapshotStore) readShard(iter, rank int) ([]byte, uint32, error) {
+	path := filepath.Join(s.ckptDir(iter), fmt.Sprintf("shard-%06d.bin", rank))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < 12 {
+		return nil, 0, fmt.Errorf("runtime: shard %s truncated header", path)
+	}
+	n := binary.LittleEndian.Uint64(raw[0:8])
+	want := binary.LittleEndian.Uint32(raw[8:12])
+	payload := raw[12:]
+	if uint64(len(payload)) != n {
+		return nil, 0, fmt.Errorf("runtime: shard %s truncated payload (%d of %d bytes)", path, len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, fmt.Errorf("runtime: shard %s CRC mismatch", path)
+	}
+	return payload, want, nil
+}
+
+// Restore returns the shard payloads of the newest committed checkpoint at
+// or below maxIter, with its iteration number. A checkpoint counts only if
+// its manifest exists and every shard verifies.
+func (s *SnapshotStore) Restore(maxIter int) (int, [][]byte, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	var iters []int
+	for _, e := range entries {
+		var it int
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%d", &it); err == nil && it <= maxIter {
+			iters = append(iters, it)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
+	for _, it := range iters {
+		manifest := filepath.Join(s.ckptDir(it), "MANIFEST")
+		raw, err := os.ReadFile(manifest)
+		if err != nil {
+			continue // uncommitted: flush was interrupted
+		}
+		var gotIter, shards int
+		if _, err := fmt.Sscanf(string(raw), "iter=%d shards=%d", &gotIter, &shards); err != nil || gotIter != it {
+			continue
+		}
+		payloads := make([][]byte, shards)
+		ok := true
+		for r := 0; r < shards; r++ {
+			p, _, err := s.readShard(it, r)
+			if err != nil {
+				ok = false
+				break
+			}
+			payloads[r] = p
+		}
+		if ok {
+			return it, payloads, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("runtime: no committed checkpoint at or below iteration %d", maxIter)
+}
+
+// GC removes all checkpoints older than keepFrom, bounding disk use.
+func (s *SnapshotStore) GC(keepFrom int) error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		var it int
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%d", &it); err == nil && it < keepFrom {
+			if err := os.RemoveAll(filepath.Join(s.dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newStore(t *testing.T) *SnapshotStore {
+	t.Helper()
+	s, err := NewSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := newStore(t)
+	shards := [][]byte{[]byte("rank0-state"), []byte("rank1-state"), {}}
+	for r, b := range shards {
+		s.WriteShard(100, r, b)
+	}
+	if err := s.Commit(100, len(shards)); err != nil {
+		t.Fatal(err)
+	}
+	it, got, err := s.Restore(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it != 100 {
+		t.Fatalf("restored iter %d, want 100", it)
+	}
+	for r := range shards {
+		if !bytes.Equal(got[r], shards[r]) {
+			t.Errorf("shard %d corrupted: %q != %q", r, got[r], shards[r])
+		}
+	}
+}
+
+func TestRestorePicksNewestCommitted(t *testing.T) {
+	s := newStore(t)
+	for _, it := range []int{10, 20, 30} {
+		s.WriteShard(it, 0, []byte(fmt.Sprintf("state-%d", it)))
+		if err := s.Commit(it, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, got, err := s.Restore(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it != 20 || string(got[0]) != "state-20" {
+		t.Errorf("Restore(25) = %d %q, want 20 state-20", it, got[0])
+	}
+	it, _, err = s.Restore(1 << 30)
+	if err != nil || it != 30 {
+		t.Errorf("Restore(max) = %d, want 30", it)
+	}
+}
+
+func TestUncommittedCheckpointIgnored(t *testing.T) {
+	// A flush interrupted by preemption leaves shards without a manifest:
+	// restore must skip it (the §4.4 rollback discards in-flight snapshots).
+	s := newStore(t)
+	s.WriteShard(10, 0, []byte("good"))
+	if err := s.Commit(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.WriteShard(20, 0, []byte("torn"))
+	s.writes.Wait() // shard written, manifest not
+	it, got, err := s.Restore(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it != 10 || string(got[0]) != "good" {
+		t.Errorf("restore used uncommitted checkpoint: %d %q", it, got[0])
+	}
+}
+
+func TestCorruptShardDetected(t *testing.T) {
+	s := newStore(t)
+	s.WriteShard(10, 0, []byte("aaaa"))
+	if err := s.Commit(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte on disk.
+	path := filepath.Join(s.Dir(), "ckpt-00000010", "shard-000000.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Restore(1 << 30); err == nil {
+		t.Fatal("corrupted checkpoint must not restore")
+	}
+}
+
+func TestCommitRejectsMissingShards(t *testing.T) {
+	s := newStore(t)
+	s.WriteShard(5, 0, []byte("only-one"))
+	if err := s.Commit(5, 2); err == nil {
+		t.Fatal("commit must fail when shards are missing")
+	}
+}
+
+func TestGC(t *testing.T) {
+	s := newStore(t)
+	for _, it := range []int{1, 2, 3} {
+		s.WriteShard(it, 0, []byte("x"))
+		if err := s.Commit(it, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.GC(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Restore(2); err == nil {
+		t.Fatal("GC'd checkpoints must be gone")
+	}
+	if it, _, err := s.Restore(1 << 30); err != nil || it != 3 {
+		t.Fatalf("kept checkpoint lost: %d %v", it, err)
+	}
+}
+
+func TestRestoreEmptyStore(t *testing.T) {
+	s := newStore(t)
+	if _, _, err := s.Restore(1 << 30); err == nil {
+		t.Fatal("empty store must not restore")
+	}
+}

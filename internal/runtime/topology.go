@@ -1,0 +1,172 @@
+// Package runtime implements the Sailor distributed training framework
+// (§4.4): a controller/worker architecture that deploys the planner's —
+// possibly heterogeneous — parallelization plans, builds the communication
+// groups they need, and reconfigures the job kill-free when resource
+// availability changes, restarting from the latest asynchronous checkpoint.
+//
+// Workers are goroutines exchanging messages with the controller over
+// channels (the in-process stand-in for the paper's gRPC control plane);
+// training compute itself advances on a virtual clock fed by the
+// ground-truth engine, so a multi-hour elasticity scenario replays in
+// milliseconds while the orchestration logic — topology construction,
+// group setup/teardown, checkpoint rollback — is executed for real.
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Topology assigns a global rank to every GPU of a plan and exposes the
+// communication groups training needs. It supports the heterogeneous plans
+// of §4.4: different tensor-parallel degrees per stage and per replica,
+// which make pipeline peers split or replicate activations.
+type Topology struct {
+	Plan core.Plan
+	// Ranks[stage][replica] lists the global ranks of that replica's TP
+	// group, in shard order.
+	Ranks [][][]int
+	// WorldSize is the total number of ranks.
+	WorldSize int
+}
+
+// BuildTopology enumerates ranks stage-major, replica-minor, shard-last —
+// the rank topology the framework "takes as input for each stage" (§4.4).
+func BuildTopology(plan core.Plan) (*Topology, error) {
+	if len(plan.Stages) == 0 {
+		return nil, fmt.Errorf("runtime: empty plan")
+	}
+	t := &Topology{Plan: plan}
+	next := 0
+	for _, st := range plan.Stages {
+		stageRanks := make([][]int, len(st.Replicas))
+		for k, r := range st.Replicas {
+			g := make([]int, r.TP)
+			for s := range g {
+				g[s] = next
+				next++
+			}
+			stageRanks[k] = g
+		}
+		t.Ranks = append(t.Ranks, stageRanks)
+	}
+	t.WorldSize = next
+	return t, nil
+}
+
+// TPGroups returns every tensor-parallel group (one per stage replica).
+func (t *Topology) TPGroups() [][]int {
+	var out [][]int
+	for _, st := range t.Ranks {
+		for _, g := range st {
+			if len(g) > 1 {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// DPGroups returns the data-parallel gradient-sync groups: for each stage,
+// ranks holding corresponding shards across replicas. With heterogeneous TP
+// degrees the shard counts differ; ranks of coarser replicas join multiple
+// groups (the split/replicate adjustment of §4.4). Group g of a stage
+// contains, from each replica, the rank owning the shard that covers slice
+// g of the finest sharding.
+func (t *Topology) DPGroups() [][]int {
+	var out [][]int
+	for _, st := range t.Ranks {
+		maxTP := 0
+		for _, g := range st {
+			if len(g) > maxTP {
+				maxTP = len(g)
+			}
+		}
+		for shard := 0; shard < maxTP; shard++ {
+			var grp []int
+			for _, g := range st {
+				// Replica with len(g) shards: shard index scaled down.
+				local := shard * len(g) / maxTP
+				grp = append(grp, g[local])
+			}
+			if len(grp) > 1 {
+				out = append(out, grp)
+			}
+		}
+	}
+	return out
+}
+
+// PPEdge describes one point-to-point pipeline link: src sends its
+// activation shard to dst. When the sender is sharded finer than the
+// receiver, several sources feed one destination (the receiver gathers);
+// when coarser, one source feeds several destinations (the sender splits or
+// replicates).
+type PPEdge struct {
+	Src, Dst int
+}
+
+// PPEdges returns the pipeline edges between consecutive stages for each
+// data-parallel pipeline, with the split/replicate fan-out implied by
+// differing TP degrees.
+func (t *Topology) PPEdges() []PPEdge {
+	var out []PPEdge
+	for i := 0; i+1 < len(t.Ranks); i++ {
+		for k := range t.Ranks[i] {
+			if k >= len(t.Ranks[i+1]) {
+				continue
+			}
+			src := t.Ranks[i][k]
+			dst := t.Ranks[i+1][k]
+			if len(src) >= len(dst) {
+				// Fan-in: each destination shard gathers from the source
+				// shards covering it.
+				per := len(src) / len(dst)
+				for d := 0; d < len(dst); d++ {
+					for s := d * per; s < (d+1)*per; s++ {
+						out = append(out, PPEdge{src[s], dst[d]})
+					}
+				}
+			} else {
+				// Fan-out: each source shard feeds the destinations
+				// covering it (split/replicate).
+				per := len(dst) / len(src)
+				for s := 0; s < len(src); s++ {
+					for d := s * per; d < (s+1)*per; d++ {
+						out = append(out, PPEdge{src[s], dst[d]})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GroupCount returns how many NCCL-like communicators a setup must create;
+// reconfiguration cost scales with it.
+func (t *Topology) GroupCount() int {
+	return len(t.TPGroups()) + len(t.DPGroups()) + len(t.PPEdges())
+}
+
+// RankInfo locates a rank in the plan.
+type RankInfo struct {
+	Stage, Replica, Shard int
+	GPU                   core.GPUType
+	Zone                  core.Zone
+}
+
+// Locate returns the placement of a global rank.
+func (t *Topology) Locate(rank int) (RankInfo, error) {
+	for si, st := range t.Ranks {
+		for k, g := range st {
+			for s, r := range g {
+				if r == rank {
+					rep := t.Plan.Stages[si].Replicas[k]
+					return RankInfo{Stage: si, Replica: k, Shard: s, GPU: rep.GPU, Zone: rep.Zone}, nil
+				}
+			}
+		}
+	}
+	return RankInfo{}, fmt.Errorf("runtime: rank %d not in topology", rank)
+}

@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WorkerConn is the controller's view of one training process, local or
+// remote. Setup/Cleanup/LoadCheckpoint return the virtual seconds the
+// operation took on the worker's GPU.
+type WorkerConn interface {
+	// Setup builds communicator groups and loads the model shard for the
+	// given rank in a world of worldSize ranks and groupCount groups.
+	Setup(rank, worldSize, groupCount int) (float64, error)
+	// Cleanup destroys communicators and frees GPU memory (kill-free).
+	Cleanup() (float64, error)
+	// LoadCheckpoint restores worker state from the checkpoint at iter.
+	LoadCheckpoint(iter int) (float64, error)
+	// Ready reports whether the worker holds a model and communicators.
+	Ready() bool
+	// Alive reports liveness (the controller's heartbeat check).
+	Alive() bool
+	// Kill simulates preemption: the worker stops answering.
+	Kill()
+	// Shutdown terminates the worker; safe to call once.
+	Shutdown()
+}
+
+// cmdKind enumerates controller->worker commands.
+type cmdKind int
+
+const (
+	cmdSetup   cmdKind = iota // build comm groups, load model shard
+	cmdCleanup                // destroy comm groups, free GPU memory
+	cmdLoadCheckpoint
+	cmdShutdown
+)
+
+// command is one control-plane message; workers reply on reply with the
+// virtual seconds the operation took on their GPU.
+type command struct {
+	kind       cmdKind
+	rank       int
+	worldSize  int
+	groupCount int
+	iter       int // checkpoint iteration for cmdLoadCheckpoint
+	reply      chan ack
+}
+
+type ack struct {
+	seconds float64
+	err     error
+}
+
+// Worker is one in-process training worker: a goroutine owning one GPU,
+// driven entirely by controller messages, mirroring the paper's workers
+// that "handle training" while the controller monitors and reconfigures.
+type Worker struct {
+	ID    int
+	inbox chan command
+
+	mu       sync.Mutex
+	groups   int // communicators currently held
+	hasModel bool
+	alive    bool
+}
+
+var _ WorkerConn = (*Worker)(nil)
+
+// NewWorker starts the worker goroutine.
+func NewWorker(id int) *Worker {
+	w := &Worker{ID: id, inbox: make(chan command, 8), alive: true}
+	go w.loop()
+	return w
+}
+
+// virtual cost constants for worker-side operations, calibrated to the
+// §5.5 measurements on 16 V100s (cleanup 3 s, NCCL groups 4.5 s, model
+// redefinition 2 s).
+const (
+	cleanupSec        = 3.0
+	groupInitBaseSec  = 2.1
+	groupInitPerRank  = 0.15
+	modelRedefSec     = 2.0
+	dataloaderSec     = 0.5
+	checkpointLoadSec = 0.8
+)
+
+func (w *Worker) loop() {
+	for cmd := range w.inbox {
+		switch cmd.kind {
+		case cmdSetup:
+			w.mu.Lock()
+			w.groups = cmd.groupCount
+			w.hasModel = true
+			w.mu.Unlock()
+			// NCCL-like communicator init scales with world size; model
+			// and dataloader redefinition are constants (§5.5).
+			sec := groupInitBaseSec + groupInitPerRank*float64(cmd.worldSize) +
+				modelRedefSec + dataloaderSec
+			cmd.reply <- ack{seconds: sec}
+		case cmdCleanup:
+			w.mu.Lock()
+			had := w.groups
+			w.groups = 0
+			w.hasModel = false
+			w.mu.Unlock()
+			sec := 0.0
+			if had > 0 {
+				sec = cleanupSec
+			}
+			cmd.reply <- ack{seconds: sec}
+		case cmdLoadCheckpoint:
+			cmd.reply <- ack{seconds: checkpointLoadSec}
+		case cmdShutdown:
+			w.mu.Lock()
+			w.alive = false
+			w.mu.Unlock()
+			cmd.reply <- ack{}
+			return
+		}
+	}
+}
+
+// send issues a command and waits for the ack.
+func (w *Worker) send(cmd command) (ack, error) {
+	w.mu.Lock()
+	alive := w.alive
+	w.mu.Unlock()
+	if !alive {
+		return ack{}, fmt.Errorf("runtime: worker %d is dead", w.ID)
+	}
+	cmd.reply = make(chan ack, 1)
+	w.inbox <- cmd
+	a := <-cmd.reply
+	return a, a.err
+}
+
+// Setup implements WorkerConn.
+func (w *Worker) Setup(rank, worldSize, groupCount int) (float64, error) {
+	a, err := w.send(command{kind: cmdSetup, rank: rank, worldSize: worldSize, groupCount: groupCount})
+	return a.seconds, err
+}
+
+// Cleanup implements WorkerConn.
+func (w *Worker) Cleanup() (float64, error) {
+	a, err := w.send(command{kind: cmdCleanup})
+	return a.seconds, err
+}
+
+// LoadCheckpoint implements WorkerConn.
+func (w *Worker) LoadCheckpoint(iter int) (float64, error) {
+	a, err := w.send(command{kind: cmdLoadCheckpoint, iter: iter})
+	return a.seconds, err
+}
+
+// Ready implements WorkerConn.
+func (w *Worker) Ready() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hasModel && w.groups > 0
+}
+
+// Kill implements WorkerConn: used when the availability trace reclaims the
+// GPUs a plan was using.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.alive = false
+}
+
+// Alive implements WorkerConn.
+func (w *Worker) Alive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive
+}
+
+// Shutdown implements WorkerConn.
+func (w *Worker) Shutdown() {
+	w.mu.Lock()
+	alive := w.alive
+	w.mu.Unlock()
+	if !alive {
+		close(w.inbox)
+		return
+	}
+	reply := make(chan ack, 1)
+	w.inbox <- command{kind: cmdShutdown, reply: reply}
+	<-reply
+	close(w.inbox)
+}

@@ -1,0 +1,151 @@
+// Package trace models dynamic GPU availability (paper Figure 2): the
+// number of allocatable GPUs per zone fluctuates as capacity frees up and is
+// reclaimed. Traces drive the elasticity experiments and the planner's
+// re-evaluation cadence.
+//
+// The paper's trace was collected on GCP in April 2024 by continuously
+// requesting 8 A100s in two zones for 8 hours; one zone reached 8 GPUs after
+// about 7 hours, the other never did. GCPA100Trace regenerates that shape
+// from a seeded stochastic allocator model.
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Event is one availability change: Delta GPUs of a type appear (positive)
+// or are reclaimed (negative) in a zone at time At after trace start.
+type Event struct {
+	At    time.Duration
+	Zone  core.Zone
+	GPU   core.GPUType
+	Delta int
+}
+
+// Trace is a time-ordered sequence of availability events over a horizon.
+type Trace struct {
+	Horizon time.Duration
+	Events  []Event
+}
+
+// sortEvents orders events by time, keeping insertion order for ties.
+func (t *Trace) sortEvents() {
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].At < t.Events[j].At })
+}
+
+// CountAt returns the cumulative availability of (zone, gpu) at time at.
+func (t *Trace) CountAt(at time.Duration, z core.Zone, g core.GPUType) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.At > at {
+			break
+		}
+		if e.Zone == z && e.GPU == g {
+			n += e.Delta
+		}
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// PoolAt materialises the availability snapshot at time at.
+func (t *Trace) PoolAt(at time.Duration) *cluster.Pool {
+	p := cluster.NewPool()
+	for _, e := range t.Events {
+		if e.At > at {
+			break
+		}
+		p.Add(e.Zone, e.GPU, e.Delta)
+	}
+	return p
+}
+
+// Sample returns (time, count) pairs for one (zone, gpu) series at a fixed
+// step, suitable for plotting Figure 2.
+func (t *Trace) Sample(z core.Zone, g core.GPUType, step time.Duration) []Point {
+	var pts []Point
+	for at := time.Duration(0); at <= t.Horizon; at += step {
+		pts = append(pts, Point{At: at, Count: t.CountAt(at, z, g)})
+	}
+	return pts
+}
+
+// Point is one sample of an availability series.
+type Point struct {
+	At    time.Duration
+	Count int
+}
+
+// GCPA100Trace generates a Figure-2-shaped trace: two zones, 8 A100s
+// requested in each over an 8-hour window. Zone A acquires GPUs in bursts
+// with occasional reclamations and reaches the full 8 only near hour 7;
+// zone B stalls below the request for the whole window.
+func GCPA100Trace(seed int64) (*Trace, core.Zone, core.Zone) {
+	zoneA := cluster.GCPZone("us-central1", 'a')
+	zoneB := cluster.GCPZone("us-central1", 'b')
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Horizon: 8 * time.Hour}
+
+	gen := func(z core.Zone, acquireRatePerHour, reclaimProb float64, cap int, fullAt time.Duration) {
+		have := 0
+		for at := time.Duration(0); at < t.Horizon; at += time.Duration(rng.ExpFloat64() * float64(time.Hour) / acquireRatePerHour) {
+			if at <= 0 {
+				at = time.Minute
+			}
+			if have > 0 && rng.Float64() < reclaimProb {
+				d := 1 + rng.Intn(2)
+				if d > have {
+					d = have
+				}
+				t.Events = append(t.Events, Event{At: at, Zone: z, GPU: core.A100, Delta: -d})
+				have -= d
+				continue
+			}
+			if have >= cap {
+				continue
+			}
+			// Before fullAt, cap acquisitions below the request to model
+			// the long wait for the final GPUs.
+			limit := cap
+			if fullAt > 0 && at < fullAt {
+				limit = cap - 2
+			}
+			if have >= limit {
+				continue
+			}
+			d := 1 + rng.Intn(2)
+			if have+d > limit {
+				d = limit - have
+			}
+			if d <= 0 {
+				continue
+			}
+			t.Events = append(t.Events, Event{At: at, Zone: z, GPU: core.A100, Delta: d})
+			have += d
+		}
+		if fullAt > 0 {
+			// Force the final jump to the full request at fullAt.
+			if have < cap {
+				t.Events = append(t.Events, Event{At: fullAt, Zone: z, GPU: core.A100, Delta: cap - have})
+			}
+		}
+	}
+	gen(zoneA, 2.0, 0.25, 8, 7*time.Hour)
+	gen(zoneB, 1.2, 0.35, 5, 0) // never reaches the requested 8
+	t.sortEvents()
+	return t, zoneA, zoneB
+}
+
+// Synthetic builds a trace from explicit events, for tests and examples.
+func Synthetic(horizon time.Duration, events ...Event) *Trace {
+	t := &Trace{Horizon: horizon, Events: append([]Event(nil), events...)}
+	t.sortEvents()
+	return t
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestGCPA100TraceShape(t *testing.T) {
+	tr, zoneA, zoneB := GCPA100Trace(42)
+	if tr.Horizon != 8*time.Hour {
+		t.Fatalf("horizon = %v, want 8h", tr.Horizon)
+	}
+	// Figure 2 shape: zone A reaches the full 8 GPUs only near hour 7...
+	endA := tr.CountAt(tr.Horizon, zoneA, core.A100)
+	if endA != 8 {
+		t.Errorf("zone A final count = %d, want 8", endA)
+	}
+	atSixHours := tr.CountAt(6*time.Hour, zoneA, core.A100)
+	if atSixHours >= 8 {
+		t.Errorf("zone A should not reach 8 before hour 7, has %d at 6h", atSixHours)
+	}
+	// ... and zone B never attains the request.
+	for at := time.Duration(0); at <= tr.Horizon; at += 10 * time.Minute {
+		if n := tr.CountAt(at, zoneB, core.A100); n >= 8 {
+			t.Fatalf("zone B reached %d GPUs at %v; should stay below 8", n, at)
+		}
+	}
+}
+
+func TestCountNeverNegative(t *testing.T) {
+	tr, zoneA, zoneB := GCPA100Trace(7)
+	for at := time.Duration(0); at <= tr.Horizon; at += 5 * time.Minute {
+		for _, z := range []core.Zone{zoneA, zoneB} {
+			if n := tr.CountAt(at, z, core.A100); n < 0 {
+				t.Fatalf("negative availability %d at %v in %s", n, at, z)
+			}
+		}
+	}
+}
+
+func TestTraceIsDeterministic(t *testing.T) {
+	a, za, _ := GCPA100Trace(1)
+	b, _, _ := GCPA100Trace(1)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed produced different traces: %d vs %d events", len(a.Events), len(b.Events))
+	}
+	if a.CountAt(4*time.Hour, za, core.A100) != b.CountAt(4*time.Hour, za, core.A100) {
+		t.Error("same seed must reproduce identical counts")
+	}
+}
+
+func TestPoolAt(t *testing.T) {
+	tr, zoneA, _ := GCPA100Trace(42)
+	p := tr.PoolAt(tr.Horizon)
+	if got := p.Available(zoneA, core.A100); got != 8 {
+		t.Errorf("PoolAt(end) zone A = %d, want 8", got)
+	}
+}
+
+func TestSyntheticAndSample(t *testing.T) {
+	z := core.Zone{Region: "r", Name: "r-a"}
+	tr := Synthetic(time.Hour,
+		Event{At: 30 * time.Minute, Zone: z, GPU: core.V100, Delta: 4},
+		Event{At: 10 * time.Minute, Zone: z, GPU: core.V100, Delta: 2},
+		Event{At: 45 * time.Minute, Zone: z, GPU: core.V100, Delta: -1},
+	)
+	// Events must be sorted regardless of insertion order.
+	if tr.Events[0].At != 10*time.Minute {
+		t.Fatalf("events not sorted: %+v", tr.Events)
+	}
+	pts := tr.Sample(z, core.V100, 15*time.Minute)
+	// Samples at 0/15/30/45/60 min; events at exactly t are included.
+	want := []int{0, 2, 6, 5, 5}
+	if len(pts) != 5 {
+		t.Fatalf("Sample returned %d points, want 5", len(pts))
+	}
+	for i, w := range want {
+		if pts[i].Count != w {
+			t.Errorf("sample %d = %d, want %d", i, pts[i].Count, w)
+		}
+	}
+}

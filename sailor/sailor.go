@@ -1,0 +1,212 @@
+// Package sailor is the public API of the Sailor reproduction: a system for
+// automating distributed training over dynamic, heterogeneous, and
+// geo-distributed clusters (SOSP'25).
+//
+// The workflow mirrors the paper's Figure 4:
+//
+//	sys, _ := sailor.New(sailor.OPT350M(), []sailor.GPUType{sailor.A100, sailor.V100})
+//	pool := sailor.NewPool().Set(sailor.GCPZone("us-central1", 'a'), sailor.A100, 16)
+//	res, _ := sys.Plan(pool, sailor.MaxThroughput, sailor.Constraints{})
+//	est, _ := sys.Simulate(res.Plan)   // analytical simulator (§4.3)
+//	real, _ := sys.Measure(res.Plan)   // ground-truth engine (testbed substitute)
+//	ctrl := sys.NewController()        // elastic training framework (§4.4)
+//
+// The package is a facade over the internal profiler, planner, simulator,
+// ground truth, and runtime packages.
+package sailor
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/groundtruth"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/profiler"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Re-exported domain types.
+type (
+	// GPUType identifies a GPU SKU, e.g. sailor.A100.
+	GPUType = core.GPUType
+	// Zone is a cloud availability zone.
+	Zone = core.Zone
+	// Plan is a job parallelization plan (§4.2).
+	Plan = core.Plan
+	// StagePlan is one pipeline stage of a Plan.
+	StagePlan = core.StagePlan
+	// StageReplica is one data-parallel replica of a stage.
+	StageReplica = core.StageReplica
+	// Estimate is a simulator or testbed evaluation of a plan.
+	Estimate = core.Estimate
+	// Objective selects what the planner optimizes.
+	Objective = core.Objective
+	// Constraints bound feasible plans (budget, throughput floor).
+	Constraints = core.Constraints
+	// Model describes a transformer training job.
+	Model = model.Config
+	// Pool is a point-in-time resource availability snapshot.
+	Pool = cluster.Pool
+	// PlanResult is the planner's output with search telemetry.
+	PlanResult = planner.Result
+	// Trace is a dynamic-availability trace (paper Fig. 2).
+	Trace = trace.Trace
+	// TraceEvent is one availability change.
+	TraceEvent = trace.Event
+	// Controller is the elastic training framework's job controller.
+	Controller = runtime.Controller
+	// Report summarises an elastic training run.
+	Report = runtime.Report
+	// PhaseTimings is the §5.5 reconfiguration breakdown.
+	PhaseTimings = runtime.PhaseTimings
+)
+
+// Re-exported constants.
+const (
+	A100     = core.A100
+	V100     = core.V100
+	GH200    = core.GH200
+	RTX3090  = core.RTX3090
+	RTX2080  = core.RTX2080
+	TitanRTX = core.TitanRTX
+	A10G     = core.A10G
+	T4       = core.T4
+	H100     = core.H100
+
+	MaxThroughput = core.MaxThroughput
+	MinCost       = core.MinCost
+)
+
+// OPT350M returns the OPT-350M training job used throughout the paper.
+func OPT350M() Model { return model.OPT350M() }
+
+// GPTNeo27B returns the GPT-Neo-2.7B training job.
+func GPTNeo27B() Model { return model.GPTNeo27B() }
+
+// OPT13B returns OPT-1.3B.
+func OPT13B() Model { return model.OPT13B() }
+
+// GPT2XL returns GPT-2 XL (1.5B).
+func GPT2XL() Model { return model.GPT2XL() }
+
+// Llama7B returns a LLaMA-7B-shaped dense decoder (see internal/model for
+// the accounting caveat).
+func Llama7B() Model { return model.Llama7B() }
+
+// Models returns every built-in model configuration by name.
+func Models() map[string]Model { return model.Zoo() }
+
+// NewPool returns an empty availability pool.
+func NewPool() *Pool { return cluster.NewPool() }
+
+// GCPZone names a zone like "us-central1-a".
+func GCPZone(region string, letter byte) Zone { return cluster.GCPZone(region, letter) }
+
+// OnPremZone is the synthetic zone for on-premise clusters.
+func OnPremZone() Zone { return cluster.OnPrem() }
+
+// GCPA100Trace regenerates the paper's Figure-2-shaped availability trace.
+func GCPA100Trace(seed int64) (*Trace, Zone, Zone) { return trace.GCPA100Trace(seed) }
+
+// SyntheticTrace builds a trace from explicit events.
+func SyntheticTrace(horizon time.Duration, events ...TraceEvent) *Trace {
+	return trace.Synthetic(horizon, events...)
+}
+
+// System bundles a profiled job: the profiler output plus the simulator and
+// ground-truth engine built on it.
+type System struct {
+	Model   Model
+	Profile *profiler.Profile
+
+	simulator *sim.Simulator
+	gt        *groundtruth.Engine
+}
+
+// Option customises New.
+type Option func(*options)
+
+type options struct {
+	profSeed uint64
+	gtSeed   uint64
+}
+
+// WithSeed fixes the deterministic seeds of the synthetic profiler noise
+// and ground-truth jitter.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.profSeed, o.gtSeed = seed, seed }
+}
+
+// New profiles the model on every GPU type of the resource pool (§4.1) and
+// returns a ready System. Profiling is synthetic in this reproduction; see
+// DESIGN.md for the substitution.
+func New(m Model, gpus []GPUType, opts ...Option) (*System, error) {
+	o := options{profSeed: 1, gtSeed: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	prof, err := profiler.Collect(m, gpus, nil, profiler.Options{Seed: o.profSeed})
+	if err != nil {
+		return nil, err
+	}
+	gt := groundtruth.New(m)
+	gt.Seed = o.gtSeed
+	return &System{
+		Model:     m,
+		Profile:   prof,
+		simulator: sim.New(m, prof),
+		gt:        gt,
+	}, nil
+}
+
+// Plan searches for a resource allocation and parallelization plan that
+// optimizes the objective under the constraints (§4.2).
+func (s *System) Plan(pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	pl := planner.New(s.Model, s.simulator, planner.Options{
+		Objective:   obj,
+		Constraints: cons,
+		Heuristics:  planner.AllHeuristics(),
+	})
+	return pl.Plan(pool)
+}
+
+// PlanWithRecompute is Plan with the activation-recomputation fallback
+// enabled: when nothing fits memory, the planner retries with
+// rematerialisation, trading ~1/3 extra compute for a smaller footprint.
+func (s *System) PlanWithRecompute(pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	pl := planner.New(s.Model, s.simulator, planner.Options{
+		Objective:      obj,
+		Constraints:    cons,
+		Heuristics:     planner.AllHeuristics(),
+		AllowRecompute: true,
+	})
+	return pl.Plan(pool)
+}
+
+// Simulate estimates a plan's iteration time, memory footprint, and cost
+// with the analytical simulator (§4.3).
+func (s *System) Simulate(plan Plan) (Estimate, error) { return s.simulator.Estimate(plan) }
+
+// Measure runs a plan on the ground-truth engine — the repository's
+// substitute for deploying on a real cluster.
+func (s *System) Measure(plan Plan) (Estimate, error) { return s.gt.Measure(plan) }
+
+// NewController returns an elastic training controller (§4.4) wired to this
+// system's planner and ground truth.
+func (s *System) NewController() *Controller {
+	pl := planner.New(s.Model, s.simulator, planner.Options{
+		Objective:  core.MaxThroughput,
+		Heuristics: planner.AllHeuristics(),
+	})
+	return runtime.NewController(runtime.ControllerConfig{Planner: pl, GT: s.gt})
+}
+
+// ProfilingOverhead reports the simulated wall-clock cost of the profiling
+// campaign ("a couple of minutes", §4.1).
+func (s *System) ProfilingOverhead() time.Duration {
+	return time.Duration(profiler.Overhead(s.Profile) * float64(time.Second))
+}
