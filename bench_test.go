@@ -13,7 +13,10 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"os"
+	goruntime "runtime"
 	"testing"
 	"time"
 
@@ -29,6 +32,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/profiler"
 	"repro/internal/sim"
+	"repro/sailor"
 )
 
 func benchOpts() experiments.Opts {
@@ -172,6 +176,70 @@ func BenchmarkPlannerHeterogeneous(b *testing.B) {
 		})
 		if _, err := pl.Plan(pool); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerParallel measures the parallel search engine: the Table 1
+// headline pools at workers=1/4/NumCPU. The chosen plan is identical at
+// every worker count; only wall-clock changes, which is the speedup the
+// perf trajectory tracks.
+func BenchmarkPlannerParallel(b *testing.B) {
+	cfg := model.OPT350M()
+	pools := []struct {
+		name string
+		gpus []core.GPUType
+		pool *cluster.Pool
+	}{
+		{
+			name: "homogeneous128",
+			gpus: []core.GPUType{core.A100},
+			pool: cluster.NewPool().Set(benchZone, core.A100, 128),
+		},
+		{
+			name: "heterogeneous",
+			gpus: []core.GPUType{core.A100, core.V100},
+			pool: cluster.NewPool().Set(benchZone, core.A100, 64).Set(benchZone, core.V100, 64),
+		},
+	}
+	workerCounts := []int{1, 4, goruntime.NumCPU()}
+	for _, pc := range pools {
+		s, _ := benchLab(b, cfg, pc.gpus...)
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("%s/workers=%d", pc.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pl := planner.New(cfg, s, planner.Options{
+						Objective:  core.MaxThroughput,
+						Heuristics: planner.AllHeuristics(),
+						Workers:    w,
+					})
+					if _, err := pl.Plan(pc.pool); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlanBatch measures the facade's many-pools serving shape: 8
+// availability snapshots planned concurrently through sailor.PlanBatch.
+func BenchmarkPlanBatch(b *testing.B) {
+	sys, err := sailor.New(sailor.OPT350M(), []core.GPUType{core.A100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pools []*cluster.Pool
+	for i := 0; i < 8; i++ {
+		pools = append(pools, cluster.NewPool().Set(benchZone, core.A100, 16+8*i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, errs := sys.PlanBatch(context.Background(), pools, core.MaxThroughput, core.Constraints{})
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -26,7 +27,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	quick := flag.Bool("quick", false, "shrink cluster sizes for a fast pass")
 	cap := flag.Duration("cap", 10*time.Second, "deadline for slow searchers (paper caps Metis at 300s)")
+	workers := flag.Int("workers", runtime.NumCPU(), "Sailor planner search parallelism (goroutines)")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	if *list {
 		for _, e := range experiments.IDs() {
@@ -34,7 +39,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Opts{Quick: *quick, SlowPlannerCap: *cap}
+	opts := experiments.Opts{Quick: *quick, SlowPlannerCap: *cap, Workers: *workers}
 
 	ids := experiments.IDs()
 	if *id != "all" {
@@ -52,7 +57,7 @@ func main() {
 			failed++
 			continue
 		}
-		fmt.Printf("%s\n(regenerated in %s)\n\n", tab, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s\n(regenerated in %s, search workers=%d)\n\n", tab, time.Since(start).Round(time.Millisecond), *workers)
 	}
 	if failed > 0 {
 		os.Exit(1)

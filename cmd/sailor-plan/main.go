@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -28,7 +29,11 @@ func main() {
 	budget := flag.Float64("budget", 0, "max USD per iteration (0 = unconstrained)")
 	minTput := flag.Float64("min-throughput", 0, "min iterations/sec (0 = unconstrained)")
 	measure := flag.Bool("measure", false, "also run the plan on the ground-truth engine")
+	workers := flag.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines)")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	m, err := modelByName(*modelName)
 	if err != nil {
@@ -43,7 +48,7 @@ func main() {
 		obj = sailor.MinCost
 	}
 
-	sys, err := sailor.New(m, gpus)
+	sys, err := sailor.New(m, gpus, sailor.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +67,7 @@ func main() {
 	fmt.Printf("est cost:     $%.3f/iter (compute $%.3f + egress $%.3f)\n",
 		res.Estimate.Cost(), res.Estimate.ComputeCost, res.Estimate.EgressCost)
 	fmt.Printf("peak memory:  %.1f GiB on %s\n", float64(res.Estimate.PeakMemory)/(1<<30), res.Estimate.PeakMemoryGPU)
-	fmt.Printf("search time:  %s (%d nodes explored)\n", res.SearchTime, res.Explored)
+	fmt.Printf("search time:  %s (%d nodes explored, %d workers)\n", res.SearchTime, res.Explored, *workers)
 
 	if *measure {
 		real, err := sys.Measure(res.Plan)

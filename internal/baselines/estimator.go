@@ -280,6 +280,54 @@ type estimator struct {
 func (e estimator) IterTime(plan core.Plan) (float64, error) { return e.tm.IterTime(plan) }
 func (e estimator) PeakMemory(plan core.Plan) (int64, bool)  { return e.mm.PeakMemory(plan) }
 
+// coreEstimator adapts a baseline's published time/memory models to the
+// shared core.Estimator seam, so estimation-accuracy harnesses can sweep
+// Sailor's simulator, the ground truth, and every baseline uniformly.
+type coreEstimator struct {
+	e   Estimator
+	cfg model.Config
+}
+
+// AsCoreEstimator wraps a baseline estimator in the core.Estimator
+// interface. Baselines do not model cost, so the returned Estimate prices
+// nothing; FitsMemory reflects the baseline's own (possibly absent) memory
+// model, exactly as its deployment filter would.
+func AsCoreEstimator(e Estimator, cfg model.Config) core.Estimator {
+	return coreEstimator{e: e, cfg: cfg}
+}
+
+func (c coreEstimator) Estimate(plan core.Plan) (core.Estimate, error) {
+	t, err := c.e.IterTime(plan)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	peak, _ := c.e.PeakMemory(plan)
+	return core.Estimate{
+		IterTime:   t,
+		PeakMemory: peak,
+		FitsMemory: fitsOwnModel(c.e, plan),
+	}, nil
+}
+
+func (c coreEstimator) Throughput(plan core.Plan) (float64, error) {
+	t, err := c.e.IterTime(plan)
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("baseline estimator: non-positive iteration time")
+	}
+	return 1 / t, nil
+}
+
+func (c coreEstimator) PeakMemory(plan core.Plan) (int64, error) {
+	peak, ok := c.e.PeakMemory(plan)
+	if !ok {
+		return 0, fmt.Errorf("baseline estimator: no memory model")
+	}
+	return peak, nil
+}
+
 // fitsOwnModel applies a baseline's own (possibly absent or flawed) memory
 // filter: plans pass when the model is absent or predicts a fit — which is
 // exactly how under-estimators leak OOM plans into deployment.

@@ -1,0 +1,19 @@
+package core
+
+// Estimator is the shared seam between the planner and the evaluation
+// backends. The analytical simulator (§4.3), the ground-truth engine (the
+// testbed substitute), and the baselines' published estimators all satisfy
+// it, so search and serving code can be written once against the interface
+// and pointed at any backend.
+type Estimator interface {
+	// Estimate evaluates a plan end to end: iteration time, cost split,
+	// and the peak memory of the most loaded worker.
+	Estimate(Plan) (Estimate, error)
+	// Throughput returns iterations per second for a valid plan, or an
+	// error when the plan is invalid or does not fit memory.
+	Throughput(Plan) (float64, error)
+	// PeakMemory returns the predicted peak bytes of the most loaded
+	// worker, or an error when the backend has no memory model or the
+	// plan is invalid.
+	PeakMemory(Plan) (int64, error)
+}

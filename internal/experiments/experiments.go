@@ -73,6 +73,13 @@ type Opts struct {
 	SlowPlannerCap time.Duration
 	// Quick shrinks cluster sizes for smoke tests.
 	Quick bool
+	// Workers is the Sailor planner's search parallelism
+	// (0 = runtime.NumCPU()). For searches that run to completion the
+	// regenerated numbers are identical at any setting and only
+	// wall-clock changes; deadline-capped cells (e.g. Table 3's DP-only
+	// ablation) report whatever the cutoff allowed, which grows with the
+	// worker count.
+	Workers int
 }
 
 func (o Opts) cap() time.Duration {
@@ -95,25 +102,27 @@ var (
 
 // lab bundles the per-model machinery every experiment needs.
 type lab struct {
-	cfg  model.Config
-	prof *profiler.Profile
-	sim  *sim.Simulator
-	gt   *groundtruth.Engine
-	env  baselines.Env
+	cfg     model.Config
+	prof    *profiler.Profile
+	sim     *sim.Simulator
+	gt      *groundtruth.Engine
+	env     baselines.Env
+	workers int
 }
 
-func newLab(cfg model.Config, cap time.Duration, gpus ...core.GPUType) (*lab, error) {
+func newLab(cfg model.Config, o Opts, gpus ...core.GPUType) (*lab, error) {
 	prof, err := profiler.Collect(cfg, gpus, nil, profiler.Options{Seed: 1})
 	if err != nil {
 		return nil, err
 	}
 	s := sim.New(cfg, prof)
 	return &lab{
-		cfg:  cfg,
-		prof: prof,
-		sim:  s,
-		gt:   groundtruth.New(cfg),
-		env:  baselines.Env{Cfg: cfg, Prof: prof, Deadline: cap},
+		cfg:     cfg,
+		prof:    prof,
+		sim:     s,
+		gt:      groundtruth.New(cfg),
+		env:     baselines.Env{Cfg: cfg, Prof: prof, Deadline: o.cap()},
+		workers: o.Workers,
 	}, nil
 }
 
@@ -122,6 +131,7 @@ func (l *lab) sailor(obj core.Objective, cons core.Constraints) *planner.Planner
 		Objective:   obj,
 		Constraints: cons,
 		Heuristics:  planner.AllHeuristics(),
+		Workers:     l.workers,
 		// Safety net only; Sailor's searches finish in seconds.
 		Deadline: 2 * time.Minute,
 	})

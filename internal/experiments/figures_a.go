@@ -17,7 +17,7 @@ import (
 // configurations c0-c6.
 func Figure1(o Opts) (Table, error) {
 	cfg := model.OPT350M()
-	l, err := newLab(cfg, o.cap(), core.A100, core.V100)
+	l, err := newLab(cfg, o, core.A100, core.V100)
 	if err != nil {
 		return Table{}, err
 	}
@@ -157,7 +157,7 @@ func Figure3(o Opts) (Table, error) {
 	for _, c := range configs {
 		cfg := base
 		cfg.GlobalBatch = c.gbs
-		l, err := newLab(cfg, o.cap(), core.GH200)
+		l, err := newLab(cfg, o, core.GH200)
 		if err != nil {
 			return t, err
 		}
@@ -194,7 +194,7 @@ func Figure3(o Opts) (Table, error) {
 // estimationSweep runs the Figure 5/6 methodology: a sweep of plans, each
 // estimator's error vs ground truth, summarised as box statistics.
 func estimationSweep(cfg model.Config, plans []core.Plan, gpus []core.GPUType, o Opts, memMode bool, id, title string) (Table, error) {
-	l, err := newLab(cfg, o.cap(), gpus...)
+	l, err := newLab(cfg, o, gpus...)
 	if err != nil {
 		return Table{}, err
 	}
@@ -333,7 +333,7 @@ func splitLayers(l, p int) []int {
 // ground-truth cluster.
 func Figure7(o Opts) (Table, error) {
 	cfg := model.OPT350M()
-	l, err := newLab(cfg, o.cap(), core.A100)
+	l, err := newLab(cfg, o, core.A100)
 	if err != nil {
 		return Table{}, err
 	}

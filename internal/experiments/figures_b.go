@@ -14,7 +14,7 @@ import (
 // to each homogeneous slice), reporting measured throughput, cost per
 // iteration, and OOM plans emitted before a valid one.
 func heteroComparison(cfg model.Config, id, title string, sizes [][2]int, o Opts) (Table, error) {
-	l, err := newLab(cfg, o.cap(), core.A100, core.V100)
+	l, err := newLab(cfg, o, core.A100, core.V100)
 	if err != nil {
 		return Table{}, err
 	}
@@ -109,7 +109,7 @@ func Figure9b(o Opts) (Table, error) {
 // by the GPU count); like the paper, the harness reuses its 16-GPU plan.
 func Figure10(o Opts) (Table, error) {
 	cfg := model.OPT350M()
-	l, err := newLab(cfg, o.cap(), core.A100, core.V100)
+	l, err := newLab(cfg, o, core.A100, core.V100)
 	if err != nil {
 		return Table{}, err
 	}
@@ -172,7 +172,7 @@ func Figure10(o Opts) (Table, error) {
 // regions, DTFM vs Sailor.
 func geoComparison(id, title string, zones []core.Zone, perZone []int, o Opts) (Table, error) {
 	cfg := model.OPT350M()
-	l, err := newLab(cfg, o.cap(), core.A100)
+	l, err := newLab(cfg, o, core.A100)
 	if err != nil {
 		return Table{}, err
 	}
@@ -238,7 +238,7 @@ func Figure12(o Opts) (Table, error) {
 // rank by the constrained objective over their candidate lists.
 func constrainedComparison(id, title string, obj core.Objective, cons core.Constraints, o Opts) (Table, error) {
 	cfg := model.OPT350M()
-	l, err := newLab(cfg, o.cap(), core.A100, core.V100)
+	l, err := newLab(cfg, o, core.A100, core.V100)
 	if err != nil {
 		return Table{}, err
 	}

@@ -17,7 +17,7 @@ import (
 // for OPT-350M on 128 A100 GPUs.
 func Table1(o Opts) (Table, error) {
 	cfg := model.OPT350M()
-	l, err := newLab(cfg, o.cap(), core.A100)
+	l, err := newLab(cfg, o, core.A100)
 	if err != nil {
 		return Table{}, err
 	}
@@ -53,7 +53,7 @@ func Table1(o Opts) (Table, error) {
 // on 25/75 A100:V100 pools.
 func Table2(o Opts) (Table, error) {
 	cfg := model.GPTNeo27B()
-	l, err := newLab(cfg, o.cap(), core.A100, core.V100)
+	l, err := newLab(cfg, o, core.A100, core.V100)
 	if err != nil {
 		return Table{}, err
 	}
@@ -117,7 +117,7 @@ func sizeLabels(sizes [][2]int) []string {
 // GPUs per type in one zone.
 func Table3(o Opts) (Table, error) {
 	cfg := model.GPTNeo27B()
-	l, err := newLab(cfg, o.cap(), core.A100, core.V100)
+	l, err := newLab(cfg, o, core.A100, core.V100)
 	if err != nil {
 		return Table{}, err
 	}
@@ -133,7 +133,7 @@ func Table3(o Opts) (Table, error) {
 	run := func(pool *cluster.Pool, heur planner.Heuristics, cons core.Constraints, cap time.Duration) string {
 		pl := planner.New(cfg, l.sim, planner.Options{
 			Objective: core.MaxThroughput, Constraints: cons,
-			Heuristics: heur, Deadline: cap,
+			Heuristics: heur, Deadline: cap, Workers: l.workers,
 		})
 		res, err := pl.Plan(pool)
 		if err != nil {
@@ -168,7 +168,7 @@ func Table3(o Opts) (Table, error) {
 // GPUs per zone, and GPU-type counts.
 func Scalability(o Opts) (Table, error) {
 	cfg := model.GPTNeo27B()
-	l, err := newLab(cfg, o.cap(), core.A100, core.V100, core.A10G)
+	l, err := newLab(cfg, o, core.A100, core.V100, core.A10G)
 	if err != nil {
 		return Table{}, err
 	}
@@ -180,7 +180,7 @@ func Scalability(o Opts) (Table, error) {
 	run := func(label string, pool *cluster.Pool) error {
 		pl := planner.New(cfg, l.sim, planner.Options{
 			Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
-			Deadline: o.cap(),
+			Deadline: o.cap(), Workers: l.workers,
 		})
 		res, err := pl.Plan(pool)
 		if err != nil {
@@ -233,7 +233,7 @@ func Scalability(o Opts) (Table, error) {
 // a 16-V100 OPT-350M job gains 4 GPUs.
 func Reconfiguration(o Opts) (Table, error) {
 	cfg := model.OPT350M()
-	l, err := newLab(cfg, o.cap(), core.V100)
+	l, err := newLab(cfg, o, core.V100)
 	if err != nil {
 		return Table{}, err
 	}

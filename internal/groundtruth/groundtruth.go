@@ -299,6 +299,32 @@ func (e *Engine) jitter(pipe, stage, mb, phase int) float64 {
 	return f
 }
 
+// Estimate implements core.Estimator by executing the plan; for the
+// ground-truth engine an "estimate" is a measurement.
+func (e *Engine) Estimate(plan core.Plan) (core.Estimate, error) { return e.Measure(plan) }
+
+// Throughput implements core.Estimator (= MeasureThroughput).
+func (e *Engine) Throughput(plan core.Plan) (float64, error) {
+	return e.MeasureThroughput(plan)
+}
+
+// PeakMemory returns the measured peak bytes of the most loaded worker,
+// including allocator fragmentation and transient workspace.
+func (e *Engine) PeakMemory(plan core.Plan) (int64, error) {
+	if err := plan.Validate(e.Cfg.Layers); err != nil {
+		return 0, err
+	}
+	nb := sim.NumMicrobatches(e.Cfg, plan)
+	if nb == 0 {
+		return 0, fmt.Errorf("groundtruth: degenerate plan")
+	}
+	peak, _, _ := e.peakMemory(plan, nb)
+	return peak, nil
+}
+
+// Engine doubles as an evaluation backend behind the shared seam.
+var _ core.Estimator = (*Engine)(nil)
+
 // MeasureThroughput returns iterations/second, failing on OOM like a real
 // deployment would (the paper counts such plans as invalid).
 func (e *Engine) MeasureThroughput(plan core.Plan) (float64, error) {

@@ -1,0 +1,153 @@
+package planner
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// TestWorkerCountDeterminism is the contract of the parallel search: any
+// worker count returns the identical plan, estimate, and exploration count,
+// because per-candidate evaluation is deterministic, H3/H4 early stops are
+// per-worker, and ties break on the plan signature.
+func TestWorkerCountDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  model.Config
+		pool *cluster.Pool
+		gpus []core.GPUType
+		obj  core.Objective
+	}{
+		{
+			name: "homogeneous-throughput",
+			cfg:  model.OPT350M(),
+			pool: cluster.NewPool().Set(zoneA, core.A100, 64),
+			gpus: []core.GPUType{core.A100},
+			obj:  core.MaxThroughput,
+		},
+		{
+			name: "heterogeneous-throughput",
+			cfg:  model.OPT350M(),
+			pool: cluster.NewPool().Set(zoneA, core.A100, 32).Set(zoneA, core.V100, 32),
+			gpus: []core.GPUType{core.A100, core.V100},
+			obj:  core.MaxThroughput,
+		},
+		{
+			name: "geo-min-cost",
+			cfg:  model.OPT350M(),
+			pool: cluster.NewPool().Set(zoneA, core.A100, 16).Set(zoneW, core.A100, 16),
+			gpus: []core.GPUType{core.A100},
+			obj:  core.MinCost,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref Result
+			for i, workers := range []int{1, 8} {
+				pl := newPlanner(t, tc.cfg, Options{Objective: tc.obj, Workers: workers}, tc.gpus...)
+				res, err := pl.Plan(tc.pool)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if i == 0 {
+					ref = res
+					continue
+				}
+				if got, want := res.Plan.String(), ref.Plan.String(); got != want {
+					t.Errorf("plan differs between workers=1 and workers=%d:\n%s\n%s", workers, want, got)
+				}
+				if res.Estimate.IterTime != ref.Estimate.IterTime {
+					t.Errorf("IterTime differs: %v vs %v", ref.Estimate.IterTime, res.Estimate.IterTime)
+				}
+				if res.Estimate.Cost() != ref.Estimate.Cost() {
+					t.Errorf("Cost differs: %v vs %v", ref.Estimate.Cost(), res.Estimate.Cost())
+				}
+				if res.Estimate.PeakMemory != ref.Estimate.PeakMemory {
+					t.Errorf("PeakMemory differs: %v vs %v", ref.Estimate.PeakMemory, res.Estimate.PeakMemory)
+				}
+				if res.Explored != ref.Explored {
+					t.Errorf("Explored differs: %d vs %d", ref.Explored, res.Explored)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanContextAlreadyCancelled: a cancelled context returns promptly
+// with no plan and without leaking search goroutines.
+func TestPlanContextAlreadyCancelled(t *testing.T) {
+	cfg := model.OPT350M()
+	pl := newPlanner(t, cfg, Options{Objective: core.MaxThroughput, Workers: 8}, core.A100)
+	pool := cluster.NewPool().Set(zoneA, core.A100, 128)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := pl.PlanContext(ctx, pool)
+	if err == nil {
+		t.Fatal("want error from cancelled context, got plan")
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("error should wrap the context error: %v", err)
+	}
+	if len(res.Plan.Stages) != 0 {
+		t.Fatalf("cancelled search must not return a plan: %s", res.Plan)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled search took %v; want a prompt return", elapsed)
+	}
+	// Workers and the context watcher must all have exited.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestPlanContextCancelMidSearch: cancelling a running search stops it at
+// the next candidate boundary; a best-so-far plan, if any, is returned.
+func TestPlanContextCancelMidSearch(t *testing.T) {
+	cfg := model.GPTNeo27B()
+	pl := newPlanner(t, cfg, Options{Objective: core.MaxThroughput, Workers: 4}, core.A100, core.V100)
+	pool := cluster.NewPool().Set(zoneA, core.A100, 128).Set(zoneA, core.V100, 384)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := pl.PlanContext(ctx, pool)
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation not honored: searched for %v", elapsed)
+	}
+	if err == nil {
+		// Best-so-far semantics: the partial result must still be valid.
+		if verr := res.Plan.Validate(cfg.Layers); verr != nil {
+			t.Fatalf("best-so-far plan invalid: %v", verr)
+		}
+	}
+}
+
+// TestPlanContextHonorsBothDeadlineAndContext: Options.Deadline still caps
+// the search when the caller context has no deadline of its own.
+func TestPlanContextDeadlineStillApplies(t *testing.T) {
+	cfg := model.GPTNeo27B()
+	pl := newPlanner(t, cfg, Options{
+		Objective: core.MaxThroughput,
+		Deadline:  50 * time.Millisecond,
+		Workers:   2,
+	}, core.A100, core.V100)
+	pool := cluster.NewPool().Set(zoneA, core.A100, 128).Set(zoneA, core.V100, 384)
+	start := time.Now()
+	_, _ = pl.PlanContext(context.Background(), pool)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Options.Deadline ignored under PlanContext: %v", elapsed)
+	}
+}

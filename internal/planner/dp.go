@@ -1,0 +1,416 @@
+package planner
+
+// The per-stage dynamic program of Listing 1: assign resources to pipeline
+// stages suffix by suffix, memoizing on the remaining resource state, with
+// an exact budget-threading recursion for shallow pipelines and a beam-
+// bounded fallback for deep ones. All methods run on a single task — the
+// DP itself is sequential; parallelism lives one level up in search.go.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/memory"
+)
+
+// replicaGroup is a homogeneous subset of one stage's DP replicas.
+type replicaGroup struct {
+	typeIdx int
+	gpu     core.GPUType
+	count   int
+	tp      int
+}
+
+// stageChoice is the resource assignment for one stage: a region and the
+// composition of its D replicas.
+type stageChoice struct {
+	region     int
+	regionName string
+	groups     []replicaGroup
+	// perMB is the per-microbatch fwd+bwd time of the slowest replica.
+	perMB float64
+	// sync is the estimated gradient all-reduce time for the stage.
+	sync float64
+	// rateUSD is the USD/second of the stage's GPUs.
+	rateUSD float64
+}
+
+// dpNode is the memoized solution of the suffix starting at one stage.
+type dpNode struct {
+	choice    stageChoice
+	next      *dpNode
+	straggler float64 // max per-microbatch stage time over the suffix
+	sumTime   float64 // warm-up/cool-down contribution of the suffix
+	maxSync   float64
+	rateUSD   float64 // total USD/second over the suffix
+}
+
+// metric is the DP's objective: the §4.2.2 iteration-time decomposition.
+func (n *dpNode) metric(nb int) float64 {
+	return float64(nb)*n.straggler + n.sumTime + n.maxSync
+}
+
+// costPerIter approximates the suffix cost under the §4.2.3 assumption that
+// the straggler term dominates the iteration.
+func (n *dpNode) costPerIter(nb int) float64 {
+	return n.rateUSD * float64(nb) * n.straggler
+}
+
+// sig is a stable signature of the node's choice chain, used only to break
+// exact metric ties deterministically (so it is computed lazily and the
+// cost never shows on the hot path).
+func (n *dpNode) sig() string {
+	var b strings.Builder
+	for c := n; c != nil; c = c.next {
+		fmt.Fprintf(&b, "%d;", c.choice.region)
+		for _, g := range c.choice.groups {
+			fmt.Fprintf(&b, "%d:%d:%d,", g.typeIdx, g.count, g.tp)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// solveDP assigns resources to stages i..P-1, starting the region scan at
+// ri (H5: stages consume regions monotonically, so data-parallel groups
+// never straddle a region boundary while the pipeline may).
+func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, budget float64) *dpNode {
+	if t.s.expired() {
+		return nil
+	}
+	pp := len(layers)
+	memoKey := ""
+	if budget <= 0 { // unconstrained: memoization is sound
+		memoKey = rs.key(i, ri)
+		if n, ok := t.dpMemo[memoKey]; ok {
+			return n
+		}
+	}
+	t.s.explored.Add(1)
+
+	var best *dpNode
+	for r := ri; r < len(rs.regions); r++ {
+		combos := t.stageCombos(rs, r, layers[i], i, pp, d, mbs, nb)
+		if budget > 0 && len(combos) > budgetBeamWidth {
+			// The budget-constrained recursion cannot reuse the memo
+			// (Listing 1 threads the remaining budget through solve_dp),
+			// so bound its branching with a beam over the fastest
+			// per-stage choices; the paper reports a 4x overhead rather
+			// than an exponential one, implying similar bounding.
+			sort.Slice(combos, func(a, b int) bool { return combos[a].perMB < combos[b].perMB })
+			combos = combos[:budgetBeamWidth]
+		}
+		for _, choice := range combos {
+			if t.s.expired() {
+				break
+			}
+			if budget > 0 {
+				if n := t.solveWithBudget(rs, layers, i, r, d, mbs, nb, budget, choice); n != nil {
+					if best == nil || t.nodeBetter(n, best, nb) {
+						best = n
+					}
+				}
+				continue
+			}
+			rs2 := rs.clone()
+			applyChoice(rs2, choice)
+			var node *dpNode
+			if i == pp-1 {
+				node = leafNode(choice)
+			} else {
+				child := t.solveDP(rs2, layers, i+1, r, d, mbs, nb, 0)
+				if child == nil {
+					continue
+				}
+				node = combine(choice, child)
+			}
+			if best == nil || t.nodeBetter(node, best, nb) {
+				best = node
+			}
+		}
+	}
+	if memoKey != "" {
+		t.dpMemo[memoKey] = best
+	}
+	return best
+}
+
+// solveWithBudget implements the straggler-approximation loop of Listing 1
+// lines 17-32: assume this stage is the straggler, allocate the remaining
+// budget to the suffix, and re-adjust when the suffix turns out to contain
+// a slower stage.
+func (t *task) solveWithBudget(rs *regionState, layers []int, i, r, d, mbs, nb int, budget float64, choice stageChoice) *dpNode {
+	pp := len(layers)
+	rs2 := rs.clone()
+	applyChoice(rs2, choice)
+	if i == pp-1 {
+		n := leafNode(choice)
+		if n.costPerIter(nb) > budget {
+			return nil
+		}
+		return n
+	}
+	assumed := choice.perMB
+	for iter := 0; iter < 4; iter++ {
+		costI := choice.rateUSD * float64(nb) * assumed
+		rem := budget - costI
+		if rem <= 0 {
+			return nil
+		}
+		child := t.solveDP(rs2.clone(), layers, i+1, r, d, mbs, nb, rem)
+		if child == nil {
+			return nil
+		}
+		node := combine(choice, child)
+		if node.costPerIter(nb) <= budget {
+			return node
+		}
+		if child.straggler <= assumed {
+			// Assumption held but the combined cost still busts the
+			// budget: infeasible with this stage choice.
+			return nil
+		}
+		assumed = child.straggler
+	}
+	return nil
+}
+
+func leafNode(c stageChoice) *dpNode {
+	return &dpNode{
+		choice: c, straggler: c.perMB, sumTime: c.perMB,
+		maxSync: c.sync, rateUSD: c.rateUSD,
+	}
+}
+
+func combine(c stageChoice, child *dpNode) *dpNode {
+	n := &dpNode{choice: c, next: child}
+	n.straggler = c.perMB
+	if child.straggler > n.straggler {
+		n.straggler = child.straggler
+	}
+	n.sumTime = c.perMB + child.sumTime
+	n.maxSync = c.sync
+	if child.maxSync > n.maxSync {
+		n.maxSync = child.maxSync
+	}
+	n.rateUSD = c.rateUSD + child.rateUSD
+	return n
+}
+
+func applyChoice(rs *regionState, c stageChoice) {
+	for _, g := range c.groups {
+		rs.counts[c.region][g.typeIdx] -= g.count * g.tp
+	}
+}
+
+// stageCombos enumerates resource compositions for one stage in one region:
+// D replicas split across at most two GPU types (generate_combos in Listing
+// 1), with TP per type fixed by H2's minimum (plus one doubling, the
+// "scaling heuristic"). Without H2 every power-of-two TP is tried.
+func (t *task) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, nb int) []stageChoice {
+	type typeOption struct {
+		ti  int
+		tps []int
+	}
+	var opts []typeOption
+	for ti, g := range rs.types {
+		if rs.counts[region][ti] <= 0 {
+			continue
+		}
+		node := hardware.DefaultNodeType(g)
+		var tps []int
+		if t.pl.Opts.Heuristics.H2MinTP {
+			min := t.minTP(g, layers, stage, pp, mbs, nb)
+			if min == 0 {
+				continue // cannot fit this stage on this type at all
+			}
+			tps = append(tps, min)
+			if min*2 <= node.GPUsPerNode {
+				tps = append(tps, min*2)
+			}
+		} else {
+			for tp := 1; tp <= node.GPUsPerNode; tp *= 2 {
+				tps = append(tps, tp)
+			}
+		}
+		opts = append(opts, typeOption{ti, tps})
+	}
+	var out []stageChoice
+	emit := func(groups []replicaGroup) {
+		// Verify availability.
+		need := map[int]int{}
+		for _, g := range groups {
+			need[g.typeIdx] += g.count * g.tp
+		}
+		for ti, n := range need {
+			if rs.counts[region][ti] < n {
+				return
+			}
+		}
+		c, ok := t.scoreChoice(rs, region, groups, layers, stage, pp, mbs, d)
+		if ok {
+			out = append(out, c)
+		}
+	}
+	// Single-type compositions.
+	for _, o := range opts {
+		for _, tp := range o.tps {
+			emit([]replicaGroup{{typeIdx: o.ti, count: d, tp: tp}})
+		}
+	}
+	// Two-type mixes (the heterogeneous per-stage replicas of §4.4). The
+	// split points are sampled at quartiles plus the extremes; exhaustive
+	// splits add little beyond these and blow up the search.
+	splits := func(d int) []int {
+		set := map[int]bool{}
+		var ks []int
+		for _, k := range []int{1, d / 4, d / 2, 3 * d / 4, d - 1} {
+			if k >= 1 && k < d && !set[k] {
+				set[k] = true
+				ks = append(ks, k)
+			}
+		}
+		return ks
+	}
+	for ai := 0; ai < len(opts); ai++ {
+		for bi := ai + 1; bi < len(opts); bi++ {
+			for _, tpa := range opts[ai].tps {
+				for _, tpb := range opts[bi].tps {
+					for _, k := range splits(d) {
+						emit([]replicaGroup{
+							{typeIdx: opts[ai].ti, count: k, tp: tpa},
+							{typeIdx: opts[bi].ti, count: d - k, tp: tpb},
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scoreChoice computes the per-stage DP metrics for a composition.
+func (t *task) scoreChoice(rs *regionState, region int, groups []replicaGroup, layers, stage, pp, mbs, d int) (stageChoice, bool) {
+	pl := t.pl
+	c := stageChoice{region: region, regionName: rs.regions[region], groups: groups}
+	last := stage == pp-1
+	minTP := 0
+	for gi := range groups {
+		groups[gi].gpu = rs.types[groups[gi].typeIdx]
+	}
+	for _, g := range groups {
+		gt := g.gpu
+		tm, err := pl.Sim.StageComputeTimeWith(gt, g.tp, mbs, layers, last, t.recompute)
+		if err != nil {
+			return c, false
+		}
+		if tm > c.perMB {
+			c.perMB = tm
+		}
+		c.rateUSD += pl.Sim.GPUHourUSD(gt) / 3600 * float64(g.count*g.tp)
+		if minTP == 0 || g.tp < minTP {
+			minTP = g.tp
+		}
+		// Without H2, reject compositions whose workers OOM outright
+		// (Sailor never emits OOM plans either way; this keeps the
+		// no-heuristics ablation semantically identical, just slower).
+		w := memory.WorkerShape{
+			Layers: layers, StageIdx: stage, PP: pp, TP: g.tp,
+			MicroBS: mbs, NumMicro: pp, FirstStg: stage == 0, LastStg: last,
+			Recompute: t.recompute,
+		}
+		spec, err := hardware.Lookup(gt)
+		if err != nil {
+			return c, false
+		}
+		if !memory.Fits(memory.WorkerFootprint(pl.Cfg, w).Total(), spec.MemoryBytes) {
+			return c, false
+		}
+	}
+	if d > 1 {
+		bytes := int64(layers) * pl.Cfg.GradBytesPerLayer(minTP)
+		// Within-region ring (H5/H6), scored at the inter-zone fit.
+		c.sync = pl.Sim.DPSyncTime(bytes, d)
+	}
+	return c, true
+}
+
+// minTP resolves heuristic H2's minimum viable tensor-parallel degree
+// through the search-wide shared cache. The in-flight count saturates at
+// the pipeline depth, so the cache key does not include nb beyond that cap
+// (the paper notes the minimum is independent of availability and reusable
+// across replans).
+func (t *task) minTP(g core.GPUType, layers, stage, pp, mbs, nb int) int {
+	if nb > pp {
+		nb = pp
+	}
+	k := minTPKey{g, layers, stage, pp, mbs, nb, t.recompute}
+	if v, ok := t.s.minTP.get(k); ok {
+		return v
+	}
+	v := memory.MinTPWith(t.pl.Cfg, g, layers, stage, pp, mbs, nb, t.recompute)
+	t.s.minTP.put(k, v)
+	return v
+}
+
+// --- plan materialisation --------------------------------------------------
+
+// buildPlan converts a DP solution chain into a concrete core.Plan, mapping
+// the consolidated region back onto real zones of the original pool.
+func (t *task) buildPlan(node *dpNode, layers []int, mbs int, origPool *cluster.Pool) (core.Plan, bool) {
+	pp := len(layers)
+	plan := core.Plan{MicroBatchSize: mbs, Recompute: t.recompute, Stages: make([]core.StagePlan, 0, pp)}
+	// Remaining availability per real zone for zone assignment.
+	remain := origPool.Clone()
+	zonesByRegion := map[string][]core.Zone{}
+	for _, z := range remain.Zones() {
+		zonesByRegion[z.Region] = append(zonesByRegion[z.Region], z)
+		if !t.pl.Opts.Heuristics.H6MergeZones {
+			// Zone-granular search: region names are zone names.
+			zonesByRegion[z.Name] = append(zonesByRegion[z.Name], z)
+		}
+	}
+	first := 0
+	cur := node
+	for i := 0; i < pp; i++ {
+		if cur == nil {
+			return core.Plan{}, false
+		}
+		ch := cur.choice
+		st := core.StagePlan{FirstLayer: first, NumLayers: layers[i]}
+		for _, g := range ch.groups {
+			for r := 0; r < g.count; r++ {
+				z, ok := pickZone(remain, zonesByRegion, ch.regionName, g.gpu, g.tp)
+				if !ok {
+					return core.Plan{}, false
+				}
+				st.Replicas = append(st.Replicas, core.StageReplica{GPU: g.gpu, TP: g.tp, Zone: z})
+			}
+		}
+		plan.Stages = append(plan.Stages, st)
+		first += layers[i]
+		cur = cur.next
+	}
+	return plan, true
+}
+
+// pickZone places one replica (tp GPUs of one type, one zone per H1) in the
+// real zone of the region with the most remaining capacity.
+func pickZone(remain *cluster.Pool, zonesByRegion map[string][]core.Zone, region string, g core.GPUType, tp int) (core.Zone, bool) {
+	var best core.Zone
+	bestN := -1
+	for _, z := range zonesByRegion[region] {
+		if n := remain.Available(z, g); n >= tp && n > bestN {
+			best, bestN = z, n
+		}
+	}
+	if bestN < 0 {
+		return core.Zone{}, false
+	}
+	remain.Add(best, g, -tp)
+	return best, true
+}

@@ -15,21 +15,35 @@
 //
 // Heuristics are individually toggleable so Table 3 and the ablation bench
 // can measure their contribution.
+//
+// The planner is a concurrent search engine: the outer (pp, mbs) candidate
+// loop fans out across a worker pool (Options.Workers), each worker owning
+// its own resource-state clone and DP memo while sharing the H2 minimum-TP
+// cache and the incumbent best plan. A search that runs to completion
+// returns a bit-identical result at any worker count: per-candidate
+// evaluation is deterministic, H3/H4 early stops are scoped to one
+// worker's scan, and ties between equally good plans break on the plan
+// signature rather than arrival order. A search truncated by the deadline
+// or context is anytime — it returns the best of whatever the cutoff
+// allowed, and more workers cover more of the space before it.
+//
+// The code is split across four files: planner.go (configuration and the
+// Plan/PlanContext entry points), search.go (the worker pool and the
+// per-candidate DP-degree scan), dp.go (the Listing-1 dynamic program and
+// plan materialisation), and state.go (region-indexed resource state and
+// the shared caches).
 package planner
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/collective"
 	"repro/internal/core"
-	"repro/internal/hardware"
-	"repro/internal/memory"
 	"repro/internal/model"
-	"repro/internal/sim"
 )
 
 // Heuristics selects which pruning rules are active.
@@ -61,8 +75,14 @@ type Options struct {
 	Constraints core.Constraints
 	Heuristics  Heuristics
 	// Deadline caps the wall-clock search; the best plan found so far is
-	// returned when it expires. Zero means no cap.
+	// returned when it expires. Zero means no cap. PlanContext callers can
+	// cancel the search through the context as well.
 	Deadline time.Duration
+	// Workers is the number of goroutines exploring (pp, mbs) candidates
+	// concurrently. Zero means runtime.NumCPU(). When the search runs to
+	// completion the chosen plan is identical at any worker count; under
+	// a Deadline/context cutoff, more workers cover more of the space.
+	Workers int
 	// MaxPP caps the pipeline depth (default 16 or the layer count).
 	MaxPP int
 	// MBSCandidates overrides the microbatch sizes to explore.
@@ -86,36 +106,34 @@ type Result struct {
 	OOMPlansEmitted int
 }
 
+// Evaluator is the estimation backend the planner searches against: the
+// shared plan-level core.Estimator seam plus the stage-level hooks the
+// Listing-1 dynamic program scores candidate stages with. The analytical
+// simulator (internal/sim) is the default implementation.
+type Evaluator interface {
+	core.Estimator
+	// StageComputeTimeWith returns the per-microbatch fwd+bwd seconds of
+	// one stage replica (time_for_stage), with an explicit
+	// rematerialisation mode.
+	StageComputeTimeWith(g core.GPUType, tp, mbs, layers int, last, recompute bool) (float64, error)
+	// GPUHourUSD prices one GPU-hour of a type (cost_for_stage).
+	GPUHourUSD(g core.GPUType) float64
+	// DPSyncTime estimates a within-region gradient all-reduce of bytes
+	// across d replicas.
+	DPSyncTime(bytes int64, d int) float64
+}
+
 // Planner searches the joint resource-allocation x parallelization space.
+// It holds only immutable configuration; all per-search state lives in the
+// search struct, so one Planner may run any number of concurrent searches.
 type Planner struct {
 	Cfg  model.Config
-	Sim  *sim.Simulator
+	Sim  Evaluator
 	Opts Options
-
-	// search state
-	start     time.Time
-	deadline  time.Time
-	explored  int
-	minTPMemo map[minTPKey]int
-	dpMemo    map[string]*dpNode
-	// costLean flips the DP's comparison to prefer cheap stages over fast
-	// ones; the budget fallback uses it for its second pass.
-	costLean bool
-	// recompute marks the current search pass as rematerialisation-mode.
-	recompute bool
 }
 
-type minTPKey struct {
-	g      core.GPUType
-	layers int
-	stage  int
-	pp     int
-	mbs    int
-	nb     int // capped at pp, where the in-flight count saturates
-}
-
-// New returns a planner over a simulator with the given options.
-func New(cfg model.Config, s *sim.Simulator, opts Options) *Planner {
+// New returns a planner over an estimation backend with the given options.
+func New(cfg model.Config, s Evaluator, opts Options) *Planner {
 	if opts.MaxPP == 0 {
 		opts.MaxPP = 16
 	}
@@ -125,55 +143,58 @@ func New(cfg model.Config, s *sim.Simulator, opts Options) *Planner {
 	return &Planner{Cfg: cfg, Sim: s, Opts: opts}
 }
 
-// Plan runs the search against an availability pool.
+// Plan runs the search against an availability pool, honoring
+// Options.Deadline if set.
 func (pl *Planner) Plan(pool *cluster.Pool) (Result, error) {
-	pl.start = time.Now()
-	if pl.Opts.Deadline > 0 {
-		pl.deadline = pl.start.Add(pl.Opts.Deadline)
-	} else {
-		pl.deadline = time.Time{}
-	}
-	pl.explored = 0
-	pl.minTPMemo = map[minTPKey]int{}
+	return pl.PlanContext(context.Background(), pool)
+}
 
+// PlanContext is Plan with caller-controlled cancellation: the search stops
+// at the next candidate boundary once ctx is done and returns the best plan
+// found so far (or an error when nothing valid was found). Options.Deadline,
+// when set, still applies on top of ctx.
+func (pl *Planner) PlanContext(ctx context.Context, pool *cluster.Pool) (Result, error) {
+	start := time.Now()
+	if pl.Opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pl.Opts.Deadline)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("planner: %w", err)
+	}
 	rs := newRegionState(pool, pl.Opts.Heuristics.H6MergeZones)
 	if rs.totalGPUs() == 0 {
 		return Result{}, fmt.Errorf("planner: empty resource pool")
 	}
 
-	var best *Result
-	search := func() {
-		for _, pp := range pl.ppCandidates() {
-			layers := partitionLayers(pl.Cfg.Layers, pp)
-			for _, mbs := range pl.mbsCandidates() {
-				pl.searchDP(rs, pool, layers, mbs, &best)
-				if pl.expired() {
-					return
-				}
-			}
-		}
-	}
-	pl.recompute = false
-	search()
-	if best == nil && pl.Opts.AllowRecompute && !pl.expired() {
+	s := newSearch(pl, ctx)
+	defer s.stop()
+	s.runPass(rs, pool, false)
+	if s.best == nil && pl.Opts.AllowRecompute && !s.expired() {
 		// Nothing fits memory; retry with activation recomputation, which
 		// trades ~1/3 extra compute for a far smaller footprint.
-		pl.recompute = true
-		pl.minTPMemo = map[minTPKey]int{}
-		search()
-		pl.recompute = false
+		s.runPass(rs, pool, true)
 	}
-	if best == nil {
-		return Result{SearchTime: time.Since(pl.start), Explored: pl.explored},
-			fmt.Errorf("planner: no valid plan within constraints for %d GPUs", pool.TotalGPUs())
+	if s.best == nil {
+		res := Result{SearchTime: time.Since(start), Explored: int(s.explored.Load())}
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("planner: search cancelled before a valid plan was found: %w", err)
+		}
+		return res, fmt.Errorf("planner: no valid plan within constraints for %d GPUs", pool.TotalGPUs())
 	}
-	best.SearchTime = time.Since(pl.start)
-	best.Explored = pl.explored
-	return *best, nil
+	best := *s.best
+	best.SearchTime = time.Since(start)
+	best.Explored = int(s.explored.Load())
+	return best, nil
 }
 
-func (pl *Planner) expired() bool {
-	return !pl.deadline.IsZero() && time.Now().After(pl.deadline)
+// workerCount resolves Options.Workers.
+func (pl *Planner) workerCount() int {
+	if pl.Opts.Workers > 0 {
+		return pl.Opts.Workers
+	}
+	return runtime.NumCPU()
 }
 
 // ppCandidates returns pipeline depths to explore: every power of two up to
@@ -222,573 +243,6 @@ func (pl *Planner) dCandidates(maxD int) []int {
 		}
 	}
 	return ds
-}
-
-// searchDP explores DP degrees for one (layer partition, mbs) and updates
-// the incumbent best.
-func (pl *Planner) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, mbs int, best **Result) {
-	pp := len(layers)
-	maxPer := pl.Cfg.GlobalBatch / mbs
-	if maxPer < 1 {
-		return
-	}
-	maxD := rs.totalGPUs() / pp // upper bound: 1 GPU per stage replica
-	if maxD > maxPer {
-		maxD = maxPer
-	}
-	if maxD < 1 {
-		return
-	}
-	noImprove := 0
-	for _, d := range pl.dCandidates(maxD) {
-		if pl.expired() {
-			return
-		}
-		nb := pl.Cfg.GlobalBatch / (d * mbs)
-		if nb < 1 {
-			continue
-		}
-		budget := pl.Opts.Constraints.MaxCostPerIter
-		if budget > 0 && pp > budgetExactMaxPP {
-			// Deep pipelines make the budget-threading recursion of
-			// Listing 1 intractable; fall back to two memoized passes
-			// (time-optimal, then cost-lean) and filter by the budget at
-			// the end, which is where Listing 1 validates constraints too.
-			budget = 0
-		}
-		var nodes []*dpNode
-		pl.dpMemo = map[string]*dpNode{}
-		pl.costLean = false
-		if n := pl.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, budget); n != nil {
-			nodes = append(nodes, n)
-		}
-		if pl.Opts.Constraints.MaxCostPerIter > 0 && budget == 0 {
-			pl.dpMemo = map[string]*dpNode{}
-			pl.costLean = true
-			if n := pl.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, 0); n != nil {
-				nodes = append(nodes, n)
-			}
-			pl.costLean = false
-		}
-		var cand *Result
-		for _, node := range nodes {
-			plan, ok := pl.buildPlan(node, layers, mbs, origPool)
-			if !ok {
-				continue
-			}
-			est, err := pl.Sim.Estimate(plan)
-			pl.explored++
-			if err != nil || !est.FitsMemory {
-				continue
-			}
-			if !pl.Opts.Constraints.Satisfied(est.IterTime, est.Cost()) {
-				continue
-			}
-			c := &Result{Plan: plan, Estimate: est}
-			if cand == nil || pl.better(c, cand) {
-				cand = c
-			}
-		}
-		if cand == nil {
-			continue
-		}
-		if *best == nil || pl.better(cand, *best) {
-			*best = cand
-			noImprove = 0
-		} else if pl.Opts.Heuristics.H3H4DPOrdering {
-			noImprove++
-			// H3 early stop: throughput is unimodal in D, so two
-			// consecutive non-improvements end the scan. Cost curves are
-			// nearly flat in D under per-GPU-hour pricing (compute cost
-			// ~ rate*D*T with T ~ 1/D), so H4 keeps the ascending order
-			// but scans every degree — the list is only log2(GPUs) long.
-			if pl.Opts.Objective != core.MinCost && noImprove >= 2 {
-				return
-			}
-		}
-	}
-}
-
-// better orders candidates by the objective, breaking ties by the other
-// metric.
-func (pl *Planner) better(a, b *Result) bool {
-	switch pl.Opts.Objective {
-	case core.MinCost:
-		if a.Estimate.Cost() != b.Estimate.Cost() {
-			return a.Estimate.Cost() < b.Estimate.Cost()
-		}
-		return a.Estimate.IterTime < b.Estimate.IterTime
-	default:
-		if a.Estimate.IterTime != b.Estimate.IterTime {
-			return a.Estimate.IterTime < b.Estimate.IterTime
-		}
-		return a.Estimate.Cost() < b.Estimate.Cost()
-	}
-}
-
-// --- region-indexed resource state ---------------------------------------
-
-type regionState struct {
-	regions []string
-	types   []core.GPUType
-	// counts[ri][ti] = available GPUs.
-	counts [][]int
-	zones  []core.Zone // one synthetic zone per region
-}
-
-// newRegionState indexes the pool for the DP. With mergeZones (H6) the
-// search granularity is one bucket per region; without it every zone is its
-// own bucket, inflating the search space exactly as the ablation intends.
-func newRegionState(p *cluster.Pool, mergeZones bool) *regionState {
-	rs := &regionState{}
-	typeIdx := map[core.GPUType]int{}
-	for _, g := range p.GPUTypes() {
-		typeIdx[g] = len(rs.types)
-		rs.types = append(rs.types, g)
-	}
-	bucketIdx := map[string]int{}
-	for _, z := range p.Zones() {
-		name := z.Region
-		if !mergeZones {
-			name = z.Name
-		}
-		ri, ok := bucketIdx[name]
-		if !ok {
-			ri = len(rs.regions)
-			bucketIdx[name] = ri
-			rs.regions = append(rs.regions, name)
-			rs.counts = append(rs.counts, make([]int, len(rs.types)))
-			rs.zones = append(rs.zones, core.Zone{Region: z.Region, Name: name})
-		}
-		for ti, g := range rs.types {
-			rs.counts[ri][ti] += p.Available(z, g)
-		}
-	}
-	return rs
-}
-
-func (rs *regionState) totalGPUs() int {
-	n := 0
-	for _, row := range rs.counts {
-		for _, c := range row {
-			n += c
-		}
-	}
-	return n
-}
-
-func (rs *regionState) clone() *regionState {
-	c := &regionState{regions: rs.regions, types: rs.types, zones: rs.zones}
-	c.counts = make([][]int, len(rs.counts))
-	for i, row := range rs.counts {
-		c.counts[i] = append([]int(nil), row...)
-	}
-	return c
-}
-
-func (rs *regionState) key(stage, ri int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d", stage, ri)
-	for _, row := range rs.counts {
-		for _, c := range row {
-			fmt.Fprintf(&b, "|%d", c)
-		}
-	}
-	return b.String()
-}
-
-// --- dynamic program (Listing 1) ------------------------------------------
-
-// replicaGroup is a homogeneous subset of one stage's DP replicas.
-type replicaGroup struct {
-	typeIdx int
-	gpu     core.GPUType
-	count   int
-	tp      int
-}
-
-// stageChoice is the resource assignment for one stage: a region and the
-// composition of its D replicas.
-type stageChoice struct {
-	region     int
-	regionName string
-	groups     []replicaGroup
-	// perMB is the per-microbatch fwd+bwd time of the slowest replica.
-	perMB float64
-	// sync is the estimated gradient all-reduce time for the stage.
-	sync float64
-	// rateUSD is the USD/second of the stage's GPUs.
-	rateUSD float64
-}
-
-// dpNode is the memoized solution of the suffix starting at one stage.
-type dpNode struct {
-	choice    stageChoice
-	next      *dpNode
-	straggler float64 // max per-microbatch stage time over the suffix
-	sumTime   float64 // warm-up/cool-down contribution of the suffix
-	maxSync   float64
-	rateUSD   float64 // total USD/second over the suffix
-}
-
-// metric is the DP's objective: the §4.2.2 iteration-time decomposition.
-func (n *dpNode) metric(nb int) float64 {
-	return float64(nb)*n.straggler + n.sumTime + n.maxSync
-}
-
-// nodeBetter orders DP nodes: by the time metric normally, by resource
-// cost-rate (ties broken by time) in the budget fallback's cost-lean pass.
-func (pl *Planner) nodeBetter(a, b *dpNode, nb int) bool {
-	if pl.costLean {
-		if a.rateUSD != b.rateUSD {
-			return a.rateUSD < b.rateUSD
-		}
-	}
-	return a.metric(nb) < b.metric(nb)
-}
-
-// costPerIter approximates the suffix cost under the §4.2.3 assumption that
-// the straggler term dominates the iteration.
-func (n *dpNode) costPerIter(nb int) float64 {
-	return n.rateUSD * float64(nb) * n.straggler
-}
-
-// solveDP assigns resources to stages i..P-1, starting the region scan at
-// ri (H5: stages consume regions monotonically, so data-parallel groups
-// never straddle a region boundary while the pipeline may).
-func (pl *Planner) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, budget float64) *dpNode {
-	if pl.expired() {
-		return nil
-	}
-	pp := len(layers)
-	memoKey := ""
-	if budget <= 0 { // unconstrained: memoization is sound
-		memoKey = rs.key(i, ri)
-		if n, ok := pl.dpMemo[memoKey]; ok {
-			return n
-		}
-	}
-	pl.explored++
-
-	var best *dpNode
-	for r := ri; r < len(rs.regions); r++ {
-		combos := pl.stageCombos(rs, r, layers[i], i, pp, d, mbs, nb)
-		if budget > 0 && len(combos) > budgetBeamWidth {
-			// The budget-constrained recursion cannot reuse the memo
-			// (Listing 1 threads the remaining budget through solve_dp),
-			// so bound its branching with a beam over the fastest
-			// per-stage choices; the paper reports a 4x overhead rather
-			// than an exponential one, implying similar bounding.
-			sort.Slice(combos, func(a, b int) bool { return combos[a].perMB < combos[b].perMB })
-			combos = combos[:budgetBeamWidth]
-		}
-		for _, choice := range combos {
-			if pl.expired() {
-				break
-			}
-			if budget > 0 {
-				if n := pl.solveWithBudget(rs, layers, i, r, d, mbs, nb, budget, choice); n != nil {
-					if best == nil || pl.nodeBetter(n, best, nb) {
-						best = n
-					}
-				}
-				continue
-			}
-			rs2 := rs.clone()
-			applyChoice(rs2, choice)
-			var node *dpNode
-			if i == pp-1 {
-				node = leafNode(choice)
-			} else {
-				child := pl.solveDP(rs2, layers, i+1, r, d, mbs, nb, 0)
-				if child == nil {
-					continue
-				}
-				node = combine(choice, child)
-			}
-			if best == nil || pl.nodeBetter(node, best, nb) {
-				best = node
-			}
-		}
-	}
-	if memoKey != "" {
-		pl.dpMemo[memoKey] = best
-	}
-	return best
-}
-
-// solveWithBudget implements the straggler-approximation loop of Listing 1
-// lines 17-32: assume this stage is the straggler, allocate the remaining
-// budget to the suffix, and re-adjust when the suffix turns out to contain
-// a slower stage.
-func (pl *Planner) solveWithBudget(rs *regionState, layers []int, i, r, d, mbs, nb int, budget float64, choice stageChoice) *dpNode {
-	pp := len(layers)
-	rs2 := rs.clone()
-	applyChoice(rs2, choice)
-	if i == pp-1 {
-		n := leafNode(choice)
-		if n.costPerIter(nb) > budget {
-			return nil
-		}
-		return n
-	}
-	assumed := choice.perMB
-	for iter := 0; iter < 4; iter++ {
-		costI := choice.rateUSD * float64(nb) * assumed
-		rem := budget - costI
-		if rem <= 0 {
-			return nil
-		}
-		child := pl.solveDP(rs2.clone(), layers, i+1, r, d, mbs, nb, rem)
-		if child == nil {
-			return nil
-		}
-		node := combine(choice, child)
-		if node.costPerIter(nb) <= budget {
-			return node
-		}
-		if child.straggler <= assumed {
-			// Assumption held but the combined cost still busts the
-			// budget: infeasible with this stage choice.
-			return nil
-		}
-		assumed = child.straggler
-	}
-	return nil
-}
-
-func leafNode(c stageChoice) *dpNode {
-	return &dpNode{
-		choice: c, straggler: c.perMB, sumTime: c.perMB,
-		maxSync: c.sync, rateUSD: c.rateUSD,
-	}
-}
-
-func combine(c stageChoice, child *dpNode) *dpNode {
-	n := &dpNode{choice: c, next: child}
-	n.straggler = c.perMB
-	if child.straggler > n.straggler {
-		n.straggler = child.straggler
-	}
-	n.sumTime = c.perMB + child.sumTime
-	n.maxSync = c.sync
-	if child.maxSync > n.maxSync {
-		n.maxSync = child.maxSync
-	}
-	n.rateUSD = c.rateUSD + child.rateUSD
-	return n
-}
-
-func applyChoice(rs *regionState, c stageChoice) {
-	for _, g := range c.groups {
-		rs.counts[c.region][g.typeIdx] -= g.count * g.tp
-	}
-}
-
-// stageCombos enumerates resource compositions for one stage in one region:
-// D replicas split across at most two GPU types (generate_combos in Listing
-// 1), with TP per type fixed by H2's minimum (plus one doubling, the
-// "scaling heuristic"). Without H2 every power-of-two TP is tried.
-func (pl *Planner) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, nb int) []stageChoice {
-	type typeOption struct {
-		ti  int
-		tps []int
-	}
-	var opts []typeOption
-	for ti, g := range rs.types {
-		if rs.counts[region][ti] <= 0 {
-			continue
-		}
-		node := hardware.DefaultNodeType(g)
-		var tps []int
-		if pl.Opts.Heuristics.H2MinTP {
-			min := pl.minTP(g, layers, stage, pp, mbs, nb)
-			if min == 0 {
-				continue // cannot fit this stage on this type at all
-			}
-			tps = append(tps, min)
-			if min*2 <= node.GPUsPerNode {
-				tps = append(tps, min*2)
-			}
-		} else {
-			for tp := 1; tp <= node.GPUsPerNode; tp *= 2 {
-				tps = append(tps, tp)
-			}
-		}
-		opts = append(opts, typeOption{ti, tps})
-	}
-	var out []stageChoice
-	emit := func(groups []replicaGroup) {
-		// Verify availability.
-		need := map[int]int{}
-		for _, g := range groups {
-			need[g.typeIdx] += g.count * g.tp
-		}
-		for ti, n := range need {
-			if rs.counts[region][ti] < n {
-				return
-			}
-		}
-		c, ok := pl.scoreChoice(rs, region, groups, layers, stage, pp, mbs, d)
-		if ok {
-			out = append(out, c)
-		}
-	}
-	// Single-type compositions.
-	for _, o := range opts {
-		for _, tp := range o.tps {
-			emit([]replicaGroup{{typeIdx: o.ti, count: d, tp: tp}})
-		}
-	}
-	// Two-type mixes (the heterogeneous per-stage replicas of §4.4). The
-	// split points are sampled at quartiles plus the extremes; exhaustive
-	// splits add little beyond these and blow up the search.
-	splits := func(d int) []int {
-		set := map[int]bool{}
-		var ks []int
-		for _, k := range []int{1, d / 4, d / 2, 3 * d / 4, d - 1} {
-			if k >= 1 && k < d && !set[k] {
-				set[k] = true
-				ks = append(ks, k)
-			}
-		}
-		return ks
-	}
-	for ai := 0; ai < len(opts); ai++ {
-		for bi := ai + 1; bi < len(opts); bi++ {
-			for _, tpa := range opts[ai].tps {
-				for _, tpb := range opts[bi].tps {
-					for _, k := range splits(d) {
-						emit([]replicaGroup{
-							{typeIdx: opts[ai].ti, count: k, tp: tpa},
-							{typeIdx: opts[bi].ti, count: d - k, tp: tpb},
-						})
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
-// scoreChoice computes the per-stage DP metrics for a composition.
-func (pl *Planner) scoreChoice(rs *regionState, region int, groups []replicaGroup, layers, stage, pp, mbs, d int) (stageChoice, bool) {
-	c := stageChoice{region: region, regionName: rs.regions[region], groups: groups}
-	last := stage == pp-1
-	minTP := 0
-	for gi := range groups {
-		groups[gi].gpu = rs.types[groups[gi].typeIdx]
-	}
-	for _, g := range groups {
-		gt := g.gpu
-		t, err := pl.Sim.StageComputeTimeWith(gt, g.tp, mbs, layers, last, pl.recompute)
-		if err != nil {
-			return c, false
-		}
-		if t > c.perMB {
-			c.perMB = t
-		}
-		c.rateUSD += pl.Sim.Pricing.GPUHourUSD(gt) / 3600 * float64(g.count*g.tp)
-		if minTP == 0 || g.tp < minTP {
-			minTP = g.tp
-		}
-		// Without H2, reject compositions whose workers OOM outright
-		// (Sailor never emits OOM plans either way; this keeps the
-		// no-heuristics ablation semantically identical, just slower).
-		w := memory.WorkerShape{
-			Layers: layers, StageIdx: stage, PP: pp, TP: g.tp,
-			MicroBS: mbs, NumMicro: pp, FirstStg: stage == 0, LastStg: last,
-			Recompute: pl.recompute,
-		}
-		spec, err := hardware.Lookup(gt)
-		if err != nil {
-			return c, false
-		}
-		if !memory.Fits(memory.WorkerFootprint(pl.Cfg, w).Total(), spec.MemoryBytes) {
-			return c, false
-		}
-	}
-	if d > 1 {
-		bytes := int64(layers) * pl.Cfg.GradBytesPerLayer(minTP)
-		fit := pl.Sim.Prof.NetFit(hardware.InterZone) // within-region ring (H5/H6)
-		c.sync = collective.RingAllReduce(collective.FromFit(fit), bytes, d)
-	}
-	return c, true
-}
-
-// minTP caches heuristic H2's minimum viable tensor-parallel degree. The
-// in-flight count saturates at the pipeline depth, so the cache key does not
-// include nb (the paper notes the minimum is independent of availability and
-// reusable across replans).
-func (pl *Planner) minTP(g core.GPUType, layers, stage, pp, mbs, nb int) int {
-	if nb > pp {
-		nb = pp
-	}
-	k := minTPKey{g, layers, stage, pp, mbs, nb}
-	if v, ok := pl.minTPMemo[k]; ok {
-		return v
-	}
-	v := memory.MinTPWith(pl.Cfg, g, layers, stage, pp, mbs, nb, pl.recompute)
-	pl.minTPMemo[k] = v
-	return v
-}
-
-// --- plan materialisation --------------------------------------------------
-
-// buildPlan converts a DP solution chain into a concrete core.Plan, mapping
-// the consolidated region back onto real zones of the original pool.
-func (pl *Planner) buildPlan(node *dpNode, layers []int, mbs int, origPool *cluster.Pool) (core.Plan, bool) {
-	pp := len(layers)
-	plan := core.Plan{MicroBatchSize: mbs, Recompute: pl.recompute, Stages: make([]core.StagePlan, 0, pp)}
-	// Remaining availability per real zone for zone assignment.
-	remain := origPool.Clone()
-	zonesByRegion := map[string][]core.Zone{}
-	for _, z := range remain.Zones() {
-		zonesByRegion[z.Region] = append(zonesByRegion[z.Region], z)
-		if !pl.Opts.Heuristics.H6MergeZones {
-			// Zone-granular search: region names are zone names.
-			zonesByRegion[z.Name] = append(zonesByRegion[z.Name], z)
-		}
-	}
-	first := 0
-	cur := node
-	for i := 0; i < pp; i++ {
-		if cur == nil {
-			return core.Plan{}, false
-		}
-		ch := cur.choice
-		st := core.StagePlan{FirstLayer: first, NumLayers: layers[i]}
-		for _, g := range ch.groups {
-			for r := 0; r < g.count; r++ {
-				z, ok := pickZone(remain, zonesByRegion, ch.regionName, g.gpu, g.tp)
-				if !ok {
-					return core.Plan{}, false
-				}
-				st.Replicas = append(st.Replicas, core.StageReplica{GPU: g.gpu, TP: g.tp, Zone: z})
-			}
-		}
-		plan.Stages = append(plan.Stages, st)
-		first += layers[i]
-		cur = cur.next
-	}
-	return plan, true
-}
-
-// pickZone places one replica (tp GPUs of one type, one zone per H1) in the
-// real zone of the region with the most remaining capacity.
-func pickZone(remain *cluster.Pool, zonesByRegion map[string][]core.Zone, region string, g core.GPUType, tp int) (core.Zone, bool) {
-	var best core.Zone
-	bestN := -1
-	for _, z := range zonesByRegion[region] {
-		if n := remain.Available(z, g); n >= tp && n > bestN {
-			best, bestN = z, n
-		}
-	}
-	if bestN < 0 {
-		return core.Zone{}, false
-	}
-	remain.Add(best, g, -tp)
-	return best, true
 }
 
 // partitionLayers splits L layers into p near-equal contiguous stages.

@@ -1,0 +1,268 @@
+package planner
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// search is the shared state of one Plan/PlanContext invocation: the
+// cancellation signal, the exploration counter, the H2 minimum-TP cache
+// (sound to share — the minimum is a property of the stage shape, not of
+// the scan exploring it), and the incumbent best plan.
+type search struct {
+	pl       *Planner
+	done     atomic.Bool
+	explored atomic.Int64
+	minTP    minTPCache
+
+	// mu guards the incumbent. Workers publish candidates through offer's
+	// objective-aware compare-and-swap; ties break on the plan signature,
+	// never on arrival order, so the winner is independent of scheduling.
+	mu      sync.Mutex
+	best    *Result
+	bestSig string
+
+	watch chan struct{} // closed by stop() to release the ctx watcher
+}
+
+func newSearch(pl *Planner, ctx context.Context) *search {
+	s := &search{pl: pl, watch: make(chan struct{})}
+	s.minTP.init()
+	if d := ctx.Done(); d != nil {
+		// Latch cancellation into an atomic so the hot DP loop polls a
+		// plain load instead of taking the context's lock per node.
+		go func() {
+			select {
+			case <-d:
+				s.done.Store(true)
+			case <-s.watch:
+			}
+		}()
+	}
+	return s
+}
+
+// stop releases the context watcher goroutine.
+func (s *search) stop() { close(s.watch) }
+
+func (s *search) expired() bool { return s.done.Load() }
+
+// offer publishes a candidate to the shared incumbent.
+func (s *search) offer(c *Result, sig string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.best == nil || s.pl.better(c, sig, s.best, s.bestSig) {
+		cp := *c
+		s.best = &cp
+		s.bestSig = sig
+	}
+}
+
+// runPass fans the (pp, mbs) candidate grid across the worker pool. Each
+// job gets a fresh task — its own DP memo and region-state clone — so
+// workers share nothing hot but the incumbent and the minimum-TP cache.
+func (s *search) runPass(rs *regionState, pool *cluster.Pool, recompute bool) {
+	type job struct {
+		layers []int
+		mbs    int
+	}
+	var jobs []job
+	for _, pp := range s.pl.ppCandidates() {
+		layers := partitionLayers(s.pl.Cfg.Layers, pp)
+		for _, mbs := range s.pl.mbsCandidates() {
+			jobs = append(jobs, job{layers, mbs})
+		}
+	}
+	workers := s.pl.workerCount()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if s.expired() {
+				return
+			}
+			t := &task{s: s, pl: s.pl, recompute: recompute}
+			t.searchDP(rs.clone(), pool, j.layers, j.mbs)
+		}
+		return
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if s.expired() {
+					continue // drain
+				}
+				t := &task{s: s, pl: s.pl, recompute: recompute}
+				t.searchDP(rs.clone(), pool, j.layers, j.mbs)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		if s.expired() {
+			break
+		}
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// task is one worker's state while exploring a single (pp, mbs) candidate:
+// the DP memo is valid only within one DP-degree scan, and the cost-lean
+// and recompute flags change what the DP optimises.
+type task struct {
+	s  *search
+	pl *Planner
+
+	dpMemo map[string]*dpNode
+	// costLean flips the DP's comparison to prefer cheap stages over fast
+	// ones; the budget fallback uses it for its second pass.
+	costLean bool
+	// recompute marks the current search pass as rematerialisation-mode.
+	recompute bool
+}
+
+// searchDP explores DP degrees for one (layer partition, mbs) and publishes
+// improvements to the shared incumbent. The H3/H4 early stop is scoped to
+// this task's own scan — never to the cross-worker incumbent — so the set
+// of explored configurations is identical at any worker count and the
+// heuristic ablations stay meaningful.
+func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, mbs int) {
+	pl := t.pl
+	pp := len(layers)
+	maxPer := pl.Cfg.GlobalBatch / mbs
+	if maxPer < 1 {
+		return
+	}
+	maxD := rs.totalGPUs() / pp // upper bound: 1 GPU per stage replica
+	if maxD > maxPer {
+		maxD = maxPer
+	}
+	if maxD < 1 {
+		return
+	}
+	var localBest *Result
+	var localSig string
+	noImprove := 0
+	for _, d := range pl.dCandidates(maxD) {
+		if t.s.expired() {
+			return
+		}
+		nb := pl.Cfg.GlobalBatch / (d * mbs)
+		if nb < 1 {
+			continue
+		}
+		budget := pl.Opts.Constraints.MaxCostPerIter
+		if budget > 0 && pp > budgetExactMaxPP {
+			// Deep pipelines make the budget-threading recursion of
+			// Listing 1 intractable; fall back to two memoized passes
+			// (time-optimal, then cost-lean) and filter by the budget at
+			// the end, which is where Listing 1 validates constraints too.
+			budget = 0
+		}
+		var nodes []*dpNode
+		t.dpMemo = map[string]*dpNode{}
+		t.costLean = false
+		if n := t.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, budget); n != nil {
+			nodes = append(nodes, n)
+		}
+		if pl.Opts.Constraints.MaxCostPerIter > 0 && budget == 0 {
+			t.dpMemo = map[string]*dpNode{}
+			t.costLean = true
+			if n := t.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, 0); n != nil {
+				nodes = append(nodes, n)
+			}
+			t.costLean = false
+		}
+		var cand *Result
+		var candSig string
+		for _, node := range nodes {
+			plan, ok := t.buildPlan(node, layers, mbs, origPool)
+			if !ok {
+				continue
+			}
+			est, err := pl.Sim.Estimate(plan)
+			t.s.explored.Add(1)
+			if err != nil || !est.FitsMemory {
+				continue
+			}
+			if !pl.Opts.Constraints.Satisfied(est.IterTime, est.Cost()) {
+				continue
+			}
+			c := &Result{Plan: plan, Estimate: est}
+			sig := plan.String()
+			if cand == nil || pl.better(c, sig, cand, candSig) {
+				cand, candSig = c, sig
+			}
+		}
+		if cand == nil {
+			continue
+		}
+		if localBest == nil || pl.better(cand, candSig, localBest, localSig) {
+			localBest, localSig = cand, candSig
+			t.s.offer(cand, candSig)
+			noImprove = 0
+		} else if pl.Opts.Heuristics.H3H4DPOrdering {
+			noImprove++
+			// H3 early stop: throughput is unimodal in D, so two
+			// consecutive non-improvements end the scan. Cost curves are
+			// nearly flat in D under per-GPU-hour pricing (compute cost
+			// ~ rate*D*T with T ~ 1/D), so H4 keeps the ascending order
+			// but scans every degree — the list is only log2(GPUs) long.
+			if pl.Opts.Objective != core.MinCost && noImprove >= 2 {
+				return
+			}
+		}
+	}
+}
+
+// better orders candidates by the objective, breaking metric ties by the
+// other metric and exact ties by the plan signature — a stable key, so the
+// chosen plan does not depend on which worker finished first.
+func (pl *Planner) better(a *Result, asig string, b *Result, bsig string) bool {
+	switch pl.Opts.Objective {
+	case core.MinCost:
+		if a.Estimate.Cost() != b.Estimate.Cost() {
+			return a.Estimate.Cost() < b.Estimate.Cost()
+		}
+		if a.Estimate.IterTime != b.Estimate.IterTime {
+			return a.Estimate.IterTime < b.Estimate.IterTime
+		}
+	default:
+		if a.Estimate.IterTime != b.Estimate.IterTime {
+			return a.Estimate.IterTime < b.Estimate.IterTime
+		}
+		if a.Estimate.Cost() != b.Estimate.Cost() {
+			return a.Estimate.Cost() < b.Estimate.Cost()
+		}
+	}
+	return asig < bsig
+}
+
+// nodeBetter orders DP nodes: by the time metric normally, by resource
+// cost-rate (ties broken by time) in the budget fallback's cost-lean pass.
+// Exact ties fall through to the node signature so the DP's winner is
+// stable under any enumeration interleaving.
+func (t *task) nodeBetter(a, b *dpNode, nb int) bool {
+	if t.costLean {
+		if a.rateUSD != b.rateUSD {
+			return a.rateUSD < b.rateUSD
+		}
+	}
+	if am, bm := a.metric(nb), b.metric(nb); am != bm {
+		return am < bm
+	}
+	if a.rateUSD != b.rateUSD {
+		return a.rateUSD < b.rateUSD
+	}
+	return a.sig() < b.sig()
+}

@@ -1,0 +1,152 @@
+package planner
+
+// Region-indexed resource state and the search-wide shared caches. Each
+// worker clones the regionState before mutating it; the minimum-TP cache is
+// shared across workers behind sharded locks.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// regionState indexes the pool for the DP: available GPU counts per
+// (region bucket, GPU type).
+type regionState struct {
+	regions []string
+	types   []core.GPUType
+	// counts[ri][ti] = available GPUs.
+	counts [][]int
+	zones  []core.Zone // one synthetic zone per region
+}
+
+// newRegionState indexes the pool for the DP. With mergeZones (H6) the
+// search granularity is one bucket per region; without it every zone is its
+// own bucket, inflating the search space exactly as the ablation intends.
+func newRegionState(p *cluster.Pool, mergeZones bool) *regionState {
+	rs := &regionState{}
+	typeIdx := map[core.GPUType]int{}
+	for _, g := range p.GPUTypes() {
+		typeIdx[g] = len(rs.types)
+		rs.types = append(rs.types, g)
+	}
+	bucketIdx := map[string]int{}
+	for _, z := range p.Zones() {
+		name := z.Region
+		if !mergeZones {
+			name = z.Name
+		}
+		ri, ok := bucketIdx[name]
+		if !ok {
+			ri = len(rs.regions)
+			bucketIdx[name] = ri
+			rs.regions = append(rs.regions, name)
+			rs.counts = append(rs.counts, make([]int, len(rs.types)))
+			rs.zones = append(rs.zones, core.Zone{Region: z.Region, Name: name})
+		}
+		for ti, g := range rs.types {
+			rs.counts[ri][ti] += p.Available(z, g)
+		}
+	}
+	return rs
+}
+
+func (rs *regionState) totalGPUs() int {
+	n := 0
+	for _, row := range rs.counts {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+func (rs *regionState) clone() *regionState {
+	c := &regionState{regions: rs.regions, types: rs.types, zones: rs.zones}
+	c.counts = make([][]int, len(rs.counts))
+	for i, row := range rs.counts {
+		c.counts[i] = append([]int(nil), row...)
+	}
+	return c
+}
+
+func (rs *regionState) key(stage, ri int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d", stage, ri)
+	for _, row := range rs.counts {
+		for _, c := range row {
+			fmt.Fprintf(&b, "|%d", c)
+		}
+	}
+	return b.String()
+}
+
+// --- shared minimum-TP cache (H2) -----------------------------------------
+
+// minTPKey identifies one stage shape. The in-flight count is capped at the
+// pipeline depth before keying (see task.minTP).
+type minTPKey struct {
+	g         core.GPUType
+	layers    int
+	stage     int
+	pp        int
+	mbs       int
+	nb        int
+	recompute bool
+}
+
+// minTPShards keeps lock contention negligible at high worker counts while
+// still letting every worker reuse every other worker's H2 computations.
+const minTPShards = 32
+
+// minTPCache is the search-wide H2 cache: sharded maps behind RWMutexes.
+// The cached minimum is a pure function of the key, so racing writers can
+// only store the same value.
+type minTPCache struct {
+	shards [minTPShards]struct {
+		mu sync.RWMutex
+		m  map[minTPKey]int
+	}
+}
+
+func (c *minTPCache) init() {
+	for i := range c.shards {
+		c.shards[i].m = map[minTPKey]int{}
+	}
+}
+
+// shardOf hashes the key fields with FNV-1a.
+func (c *minTPCache) shardOf(k minTPKey) int {
+	h := uint32(2166136261)
+	mix := func(v uint32) { h = (h ^ v) * 16777619 }
+	for i := 0; i < len(k.g); i++ {
+		mix(uint32(k.g[i]))
+	}
+	mix(uint32(k.layers))
+	mix(uint32(k.stage))
+	mix(uint32(k.pp))
+	mix(uint32(k.mbs))
+	mix(uint32(k.nb))
+	if k.recompute {
+		mix(1)
+	}
+	return int(h % minTPShards)
+}
+
+func (c *minTPCache) get(k minTPKey) (int, bool) {
+	s := &c.shards[c.shardOf(k)]
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *minTPCache) put(k minTPKey, v int) {
+	s := &c.shards[c.shardOf(k)]
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}

@@ -362,3 +362,29 @@ func (s *Simulator) Throughput(plan core.Plan) (float64, error) {
 	}
 	return e.Throughput(), nil
 }
+
+// PeakMemory returns the analytical peak bytes of the most loaded worker.
+func (s *Simulator) PeakMemory(plan core.Plan) (int64, error) {
+	if err := plan.Validate(s.Cfg.Layers); err != nil {
+		return 0, err
+	}
+	peak, _, _, err := memory.Check(s.Cfg, plan)
+	return peak, err
+}
+
+// GPUHourUSD prices one GPU-hour of a type, a stage-level hook for the
+// planner's DP (cost_for_stage in Listing 1).
+func (s *Simulator) GPUHourUSD(g core.GPUType) float64 {
+	return s.Pricing.GPUHourUSD(g)
+}
+
+// DPSyncTime estimates a within-region data-parallel gradient all-reduce of
+// bytes over d replicas (the planner scores DP groups at the inter-zone
+// fit per H5/H6).
+func (s *Simulator) DPSyncTime(bytes int64, d int) float64 {
+	fit := s.Prof.NetFit(hardware.InterZone)
+	return collective.RingAllReduce(collective.FromFit(fit), bytes, d)
+}
+
+// Simulator is the planner's default estimation backend.
+var _ core.Estimator = (*Simulator)(nil)

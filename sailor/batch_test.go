@@ -1,0 +1,118 @@
+package sailor
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPlanBatchMatchesIndividualPlans: the batch API is a concurrency
+// wrapper, not a different search — every pool's result must equal what
+// planning it alone returns.
+func TestPlanBatchMatchesIndividualPlans(t *testing.T) {
+	sys, err := New(OPT350M(), []GPUType{A100, V100}, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := GCPZone("us-central1", 'a')
+	pools := []*Pool{
+		NewPool().Set(z, A100, 16),
+		NewPool().Set(z, A100, 32),
+		NewPool().Set(z, A100, 16).Set(z, V100, 16),
+		NewPool(), // empty: must surface a per-pool error, not poison the batch
+	}
+	results, errs := sys.PlanBatch(context.Background(), pools, MaxThroughput, Constraints{})
+	if len(results) != len(pools) || len(errs) != len(pools) {
+		t.Fatalf("got %d results / %d errs for %d pools", len(results), len(errs), len(pools))
+	}
+	if errs[3] == nil {
+		t.Error("empty pool should fail with a per-pool error")
+	}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Fatalf("pool %d: %v", i, errs[i])
+		}
+		solo, err := sys.Plan(pools[i], MaxThroughput, Constraints{})
+		if err != nil {
+			t.Fatalf("solo plan %d: %v", i, err)
+		}
+		if got, want := results[i].Plan.String(), solo.Plan.String(); got != want {
+			t.Errorf("pool %d: batch plan differs from solo plan:\n%s\n%s", i, want, got)
+		}
+		if results[i].Estimate.IterTime != solo.Estimate.IterTime {
+			t.Errorf("pool %d: batch IterTime %v != solo %v",
+				i, results[i].Estimate.IterTime, solo.Estimate.IterTime)
+		}
+	}
+}
+
+// TestPlanBatchCancelled: a cancelled context fails every pool promptly.
+func TestPlanBatchCancelled(t *testing.T) {
+	sys, err := New(OPT350M(), []GPUType{A100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := GCPZone("us-central1", 'a')
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := sys.PlanBatch(ctx, []*Pool{NewPool().Set(z, A100, 16)}, MaxThroughput, Constraints{})
+	if errs[0] == nil {
+		t.Fatal("want error from cancelled context")
+	}
+}
+
+// TestWorkersConfigurationDeterminism: the facade returns the identical
+// plan at any Workers setting.
+func TestWorkersConfigurationDeterminism(t *testing.T) {
+	z := GCPZone("us-central1", 'a')
+	pool := NewPool().Set(z, A100, 32).Set(z, V100, 32)
+	var ref string
+	for i, w := range []int{1, 8} {
+		sys, err := New(OPT350M(), []GPUType{A100, V100}, WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Plan(pool, MaxThroughput, Constraints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res.Plan.String()
+		} else if got := res.Plan.String(); got != ref {
+			t.Errorf("workers=%d plan differs:\n%s\n%s", w, ref, got)
+		}
+	}
+}
+
+// TestEstimatorSeam: the simulator and ground truth both stand behind the
+// shared Estimator interface and agree a planned configuration fits.
+func TestEstimatorSeam(t *testing.T) {
+	sys, err := New(OPT350M(), []GPUType{A100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := GCPZone("us-central1", 'a')
+	res, err := sys.Plan(NewPool().Set(z, A100, 16), MaxThroughput, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range map[string]Estimator{
+		"simulator":   sys.Simulator(),
+		"groundtruth": sys.GroundTruth(),
+	} {
+		est, err := e.Estimate(res.Plan)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !est.FitsMemory || est.IterTime <= 0 {
+			t.Errorf("%s: implausible estimate %+v", name, est)
+		}
+		tput, err := e.Throughput(res.Plan)
+		if err != nil || tput <= 0 {
+			t.Errorf("%s: throughput %v, err %v", name, tput, err)
+		}
+		peak, err := e.PeakMemory(res.Plan)
+		if err != nil || peak <= 0 {
+			t.Errorf("%s: peak memory %v, err %v", name, peak, err)
+		}
+	}
+}

@@ -11,11 +11,27 @@
 //	real, _ := sys.Measure(res.Plan)   // ground-truth engine (testbed substitute)
 //	ctrl := sys.NewController()        // elastic training framework (§4.4)
 //
+// The planner is a parallel search engine: it fans candidate configurations
+// across Workers goroutines (sailor.WithWorkers, default runtime.NumCPU())
+// and, when the search runs to completion, returns the identical plan at
+// any worker count. PlanContext exposes caller-controlled cancellation
+// (a cut-off search returns the best plan found so far), and PlanBatch
+// plans many pools concurrently — the serving shape of a controller
+// replanning a fleet of jobs.
+//
+// Evaluation backends — the analytical simulator, the ground-truth engine,
+// and the baselines' published estimators — all satisfy the shared
+// Estimator interface (Simulator/GroundTruth accessors), so plan scoring
+// code can be written once and pointed at any of them.
+//
 // The package is a facade over the internal profiler, planner, simulator,
 // ground truth, and runtime packages.
 package sailor
 
 import (
+	"context"
+	goruntime "runtime"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -43,6 +59,9 @@ type (
 	StageReplica = core.StageReplica
 	// Estimate is a simulator or testbed evaluation of a plan.
 	Estimate = core.Estimate
+	// Estimator is the shared plan-evaluation seam every backend satisfies
+	// (analytical simulator, ground truth, baseline estimators).
+	Estimator = core.Estimator
 	// Objective selects what the planner optimizes.
 	Objective = core.Objective
 	// Constraints bound feasible plans (budget, throughput floor).
@@ -123,6 +142,12 @@ type System struct {
 	Model   Model
 	Profile *profiler.Profile
 
+	// Workers is the planner's search parallelism: how many goroutines
+	// explore candidate configurations concurrently (and how many pools
+	// PlanBatch plans at once). Zero means runtime.NumCPU(). Searches
+	// that run to completion choose identical plans at any setting.
+	Workers int
+
 	simulator *sim.Simulator
 	gt        *groundtruth.Engine
 }
@@ -133,12 +158,18 @@ type Option func(*options)
 type options struct {
 	profSeed uint64
 	gtSeed   uint64
+	workers  int
 }
 
 // WithSeed fixes the deterministic seeds of the synthetic profiler noise
 // and ground-truth jitter.
 func WithSeed(seed uint64) Option {
 	return func(o *options) { o.profSeed, o.gtSeed = seed, seed }
+}
+
+// WithWorkers sets the planner's search parallelism (0 = runtime.NumCPU()).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 // New profiles the model on every GPU type of the resource pool (§4.1) and
@@ -158,32 +189,76 @@ func New(m Model, gpus []GPUType, opts ...Option) (*System, error) {
 	return &System{
 		Model:     m,
 		Profile:   prof,
+		Workers:   o.workers,
 		simulator: sim.New(m, prof),
 		gt:        gt,
 	}, nil
 }
 
-// Plan searches for a resource allocation and parallelization plan that
-// optimizes the objective under the constraints (§4.2).
-func (s *System) Plan(pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
-	pl := planner.New(s.Model, s.simulator, planner.Options{
+// workerCount resolves the configured search parallelism.
+func (s *System) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return goruntime.NumCPU()
+}
+
+func (s *System) plannerOpts(obj Objective, cons Constraints, workers int) planner.Options {
+	return planner.Options{
 		Objective:   obj,
 		Constraints: cons,
 		Heuristics:  planner.AllHeuristics(),
-	})
-	return pl.Plan(pool)
+		Workers:     workers,
+	}
+}
+
+// Plan searches for a resource allocation and parallelization plan that
+// optimizes the objective under the constraints (§4.2). The search runs on
+// Workers goroutines.
+func (s *System) Plan(pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	return s.PlanContext(context.Background(), pool, obj, cons)
+}
+
+// PlanContext is Plan with caller-controlled cancellation: when ctx is
+// done the search stops at the next candidate boundary and returns the
+// best plan found so far (or an error when nothing valid was found yet).
+func (s *System) PlanContext(ctx context.Context, pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	pl := planner.New(s.Model, s.simulator, s.plannerOpts(obj, cons, s.workerCount()))
+	return pl.PlanContext(ctx, pool)
+}
+
+// PlanBatch plans many pools concurrently — the serving shape of a
+// controller replanning a fleet of jobs against availability snapshots.
+// Up to Workers pools are planned at once, each by a single-worker search
+// so the batch saturates the machine without oversubscribing it. Results
+// and errors are returned in input order; results[i] is valid iff
+// errs[i] == nil, and each equals what planning pools[i] alone returns.
+func (s *System) PlanBatch(ctx context.Context, pools []*Pool, obj Objective, cons Constraints) (results []PlanResult, errs []error) {
+	results = make([]PlanResult, len(pools))
+	errs = make([]error, len(pools))
+	sem := make(chan struct{}, s.workerCount())
+	var wg sync.WaitGroup
+	for i := range pools {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pl := planner.New(s.Model, s.simulator, s.plannerOpts(obj, cons, 1))
+			results[i], errs[i] = pl.PlanContext(ctx, pools[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
 }
 
 // PlanWithRecompute is Plan with the activation-recomputation fallback
 // enabled: when nothing fits memory, the planner retries with
 // rematerialisation, trading ~1/3 extra compute for a smaller footprint.
 func (s *System) PlanWithRecompute(pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
-	pl := planner.New(s.Model, s.simulator, planner.Options{
-		Objective:      obj,
-		Constraints:    cons,
-		Heuristics:     planner.AllHeuristics(),
-		AllowRecompute: true,
-	})
+	opts := s.plannerOpts(obj, cons, s.workerCount())
+	opts.AllowRecompute = true
+	pl := planner.New(s.Model, s.simulator, opts)
 	return pl.Plan(pool)
 }
 
@@ -195,13 +270,18 @@ func (s *System) Simulate(plan Plan) (Estimate, error) { return s.simulator.Esti
 // substitute for deploying on a real cluster.
 func (s *System) Measure(plan Plan) (Estimate, error) { return s.gt.Measure(plan) }
 
+// Simulator exposes the analytical simulator behind the shared Estimator
+// seam.
+func (s *System) Simulator() Estimator { return s.simulator }
+
+// GroundTruth exposes the ground-truth engine behind the shared Estimator
+// seam.
+func (s *System) GroundTruth() Estimator { return s.gt }
+
 // NewController returns an elastic training controller (§4.4) wired to this
 // system's planner and ground truth.
 func (s *System) NewController() *Controller {
-	pl := planner.New(s.Model, s.simulator, planner.Options{
-		Objective:  core.MaxThroughput,
-		Heuristics: planner.AllHeuristics(),
-	})
+	pl := planner.New(s.Model, s.simulator, s.plannerOpts(core.MaxThroughput, Constraints{}, s.workerCount()))
 	return runtime.NewController(runtime.ControllerConfig{Planner: pl, GT: s.gt})
 }
 
