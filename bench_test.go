@@ -32,6 +32,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/profiler"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/sailor"
 )
 
@@ -84,6 +85,7 @@ func BenchmarkTable3(b *testing.B)   { benchArtefact(b, "tab3") }
 
 func BenchmarkScalability(b *testing.B)     { benchArtefact(b, "scale") }
 func BenchmarkReconfiguration(b *testing.B) { benchArtefact(b, "reconf") }
+func BenchmarkReplanLab(b *testing.B)       { benchArtefact(b, "replan") }
 
 // --- component micro-benchmarks ---------------------------------------------
 
@@ -242,6 +244,71 @@ func BenchmarkPlanBatch(b *testing.B) {
 			}
 		}
 	}
+}
+
+// replanPools materialises the distinct availability snapshots of a
+// preemption-storm trace — the replan sequence the elastic controller
+// issues while surviving the churn.
+func replanPools(b *testing.B) []*cluster.Pool {
+	b.Helper()
+	sc, ok := trace.ScenarioByName("preemption-storm")
+	if !ok {
+		b.Fatal("preemption-storm not registered")
+	}
+	return sc.Trace(1).DistinctPools()
+}
+
+// BenchmarkReplanCold is the controller's pre-warm-start hot path: every
+// availability event replans from scratch.
+func BenchmarkReplanCold(b *testing.B) {
+	cfg := model.OPT350M()
+	s, _ := benchLab(b, cfg, core.A100)
+	pools := replanPools(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pool := range pools {
+			pl := planner.New(cfg, s, planner.Options{
+				Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
+			})
+			if _, err := pl.Plan(pool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(pools)), "replans/op")
+}
+
+// BenchmarkReplanWarm replays the same preemption storm through the
+// warm-start path: one planner, a persistent WarmCache, and Replan chained
+// from the previously chosen plan. The chosen plans are identical to the
+// cold run's (asserted in internal/planner's warm tests); only the search
+// cost drops — the acceptance target is >= 2x over BenchmarkReplanCold.
+func BenchmarkReplanWarm(b *testing.B) {
+	cfg := model.OPT350M()
+	s, _ := benchLab(b, cfg, core.A100)
+	pools := replanPools(b)
+	pl := planner.New(cfg, s, planner.Options{
+		Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
+		Warm: planner.NewWarmCache(),
+	})
+	var hits, explored int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var prev core.Plan
+		hits, explored = 0, 0
+		for _, pool := range pools {
+			res, err := pl.Replan(prev, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = res.Plan
+			hits += res.CacheHits
+			explored += res.Explored
+		}
+	}
+	b.ReportMetric(float64(len(pools)), "replans/op")
+	b.ReportMetric(float64(hits), "cache-hits/op")
+	b.ReportMetric(float64(explored), "explored/op")
 }
 
 // BenchmarkHeuristicAblation quantifies D2: search cost without H2/H3 on a

@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sailor-plan: ")
 
-	modelName := flag.String("model", "opt350m", "model: opt350m or gptneo27b")
+	modelName := flag.String("model", "opt350m", "model from the zoo (e.g. opt350m, gptneo27b, llama7b)")
 	quota := flag.String("quota", "", "comma-separated zone:gpu:count triples, e.g. us-central1-a:A100-40:16")
 	objective := flag.String("objective", "max-throughput", "max-throughput or min-cost")
 	budget := flag.Float64("budget", 0, "max USD per iteration (0 = unconstrained)")
@@ -80,13 +80,9 @@ func main() {
 }
 
 func modelByName(name string) (sailor.Model, error) {
-	switch strings.ToLower(name) {
-	case "opt350m", "opt-350m":
-		return sailor.OPT350M(), nil
-	case "gptneo27b", "gpt-neo-2.7b":
-		return sailor.GPTNeo27B(), nil
-	}
-	return sailor.Model{}, fmt.Errorf("unknown model %q (want opt350m or gptneo27b)", name)
+	// The whole zoo resolves through the shared facade resolver, so every
+	// CLI accepts the same tolerant spellings.
+	return sailor.ModelByName(name)
 }
 
 func parseQuota(s string) (*sailor.Pool, []sailor.GPUType, error) {

@@ -1,0 +1,112 @@
+// Command sailor-replay runs a named availability scenario through the
+// elastic controller and prints the reconfiguration ledger: every replan's
+// plan, downtime breakdown, and warm-start cache utilisation.
+//
+// Usage:
+//
+//	sailor-replay -list
+//	sailor-replay -scenario preemption-storm
+//	sailor-replay -scenario zone-outage -seed 7 -model gptneo27b -base 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sailor-replay: ")
+
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	name := flag.String("scenario", "", "scenario to replay (see -list)")
+	seed := flag.Int64("seed", 42, "scenario seed")
+	modelName := flag.String("model", "OPT-350M", "model from the zoo (see internal/model)")
+	workers := flag.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines)")
+	horizon := flag.Duration("horizon", 0, "override the scenario horizon (0 = scenario default)")
+	base := flag.Int("base", 0, "override the scenario base GPU count (0 = scenario default)")
+	flag.Parse()
+
+	if *list {
+		printScenarios(os.Stdout)
+		return
+	}
+	sc, ok := sailor.ScenarioByName(*name)
+	if !ok {
+		if *name == "" {
+			fmt.Fprintln(os.Stderr, "missing -scenario; registered scenarios:")
+		} else {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; registered scenarios:\n", *name)
+		}
+		printScenarios(os.Stderr)
+		os.Exit(2)
+	}
+	m, err := sailor.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
+
+	tr := sc.TraceWith(*seed, sailor.ScenarioOpts{Horizon: *horizon, Base: *base})
+	sys, err := sailor.New(m, sc.GPUs, sailor.WithWorkers(*workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl := sys.NewController()
+	rep, err := ctrl.RunElastic(tr, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario:  %s — %s\n", sc.Name, sc.Description)
+	fmt.Printf("model:     %s   seed: %d   horizon: %s   events: %d   workers: %d\n",
+		m.Name, *seed, tr.Horizon, len(tr.Events), *workers)
+	fmt.Println()
+	writeLedger(os.Stdout, rep)
+}
+
+func printScenarios(w io.Writer) {
+	for _, s := range sailor.Scenarios() {
+		gpus := make([]string, len(s.GPUs))
+		for i, g := range s.GPUs {
+			gpus[i] = string(g)
+		}
+		fmt.Fprintf(w, "  %-18s %s (GPUs: %s, horizon %s)\n",
+			s.Name, s.Description, strings.Join(gpus, "+"), s.Defaults.Horizon)
+	}
+}
+
+// writeLedger renders the reconfiguration ledger and run summary.
+func writeLedger(w io.Writer, rep sailor.Report) {
+	fmt.Fprintln(w, "reconfiguration ledger:")
+	fmt.Fprintf(w, "  %3s  %4s  %9s  %9s  %5s  %8s  %s\n",
+		"#", "gpus", "downtime", "planning", "hits", "explored", "plan")
+	totalDown := 0.0
+	for i, t := range rep.Reconfigs {
+		gpus, plan := 0, ""
+		if i < len(rep.PlansUsed) {
+			gpus = rep.PlansUsed[i].GPUCount()
+			plan = rep.PlansUsed[i].String()
+		}
+		totalDown += t.Total()
+		fmt.Fprintf(w, "  %3d  %4d  %8.2fs  %8.3fs  %5d  %8d  %s\n",
+			i, gpus, t.Total(), t.Planning, t.PlanCacheHits, t.PlanExplored, plan)
+	}
+	fmt.Fprintln(w, "summary:")
+	fmt.Fprintf(w, "  iterations:       %d done, %d lost to rollbacks, %d checkpoints\n",
+		rep.IterationsDone, rep.LostIterations, rep.CheckpointsTaken)
+	fmt.Fprintf(w, "  reconfigurations: %d, total downtime %.1fs over %.1f virtual hours\n",
+		len(rep.Reconfigs), totalDown, rep.VirtualSeconds/3600)
+	fmt.Fprintf(w, "  planning:         %.3fs wall-clock total, %d warm-cache hits\n",
+		rep.PlanningSeconds, rep.PlanCacheHits)
+}

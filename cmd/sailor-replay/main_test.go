@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/sailor"
+)
+
+func TestModelByName(t *testing.T) {
+	for _, alias := range []string{"OPT-350M", "opt350m", "opt-350m"} {
+		m, err := sailor.ModelByName(alias)
+		if err != nil || m.Name != "OPT-350M" {
+			t.Errorf("ModelByName(%q) = %v, %v", alias, m.Name, err)
+		}
+	}
+	if _, err := sailor.ModelByName("gpt9000"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestPrintScenariosListsRegistry(t *testing.T) {
+	var b strings.Builder
+	printScenarios(&b)
+	out := b.String()
+	for _, want := range []string{
+		"gcp-a100", "preemption-storm", "diurnal-wave", "zone-outage",
+		"hetero-arrivals", "geo-shift",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLedger(t *testing.T) {
+	rep := sailor.Report{
+		IterationsDone:   120,
+		VirtualSeconds:   7200,
+		LostIterations:   4,
+		CheckpointsTaken: 23,
+		PlanningSeconds:  0.25,
+		PlanCacheHits:    57,
+		Reconfigs: []sailor.PhaseTimings{
+			{Planning: 0.1, Broadcast: 1.0, PlanExplored: 300},
+			{Planning: 0.15, Broadcast: 1.1, PlanCacheHits: 57, PlanExplored: 40},
+		},
+		PlansUsed: make([]sailor.Plan, 2),
+	}
+	var b strings.Builder
+	writeLedger(&b, rep)
+	out := b.String()
+	for _, want := range []string{"120 done", "4 lost", "57 warm-cache hits", "2,"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ledger missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 7 {
+		t.Errorf("ledger suspiciously short (%d lines):\n%s", lines, out)
+	}
+}

@@ -1,7 +1,8 @@
-// Elastic: replay the paper's Figure-2 availability pattern and let the
-// controller reconfigure the job kill-free as A100s appear and vanish
-// (§4.4, §5.5), reporting per-phase reconfiguration costs and checkpoint
-// rollbacks.
+// Elastic: replay a named availability scenario and let the controller
+// reconfigure the job kill-free as capacity churns (§4.4, §5.5). Every
+// replan after the first is warm-started: the previous plan seeds the
+// incumbent and the planner's warm cache skips DP regions earlier replans
+// already solved, which the per-reconfig cache-hit counts make visible.
 package main
 
 import (
@@ -15,21 +16,17 @@ import (
 func main() {
 	log.SetFlags(0)
 
+	// The preemption-storm scenario: spot capacity repeatedly collapses to
+	// a fraction of the grant and recovers in bursts. Swap in any other
+	// registered scenario (sailor.Scenarios(), cmd/sailor-replay -list).
+	scenario := sailor.ScenarioPreemptionStorm()
+	tr := scenario.Trace(42)
+
 	job := sailor.OPT350M()
-	sys, err := sailor.New(job, []sailor.GPUType{sailor.A100})
+	sys, err := sailor.New(job, scenario.GPUs)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	zone := sailor.GCPZone("us-central1", 'a')
-	// A compressed dynamic-availability scenario: GPUs arrive in waves,
-	// then half are preempted.
-	tr := sailor.SyntheticTrace(4*time.Hour,
-		sailor.TraceEvent{At: 0, Zone: zone, GPU: sailor.A100, Delta: 8},
-		sailor.TraceEvent{At: 45 * time.Minute, Zone: zone, GPU: sailor.A100, Delta: 8},
-		sailor.TraceEvent{At: 2 * time.Hour, Zone: zone, GPU: sailor.A100, Delta: 16},
-		sailor.TraceEvent{At: 3 * time.Hour, Zone: zone, GPU: sailor.A100, Delta: -16},
-	)
 
 	ctrl := sys.NewController()
 	rep, err := ctrl.RunElastic(tr, time.Minute)
@@ -37,15 +34,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("trained %d iterations over 4h of availability churn\n", rep.IterationsDone)
-	fmt.Printf("rollback losses: %d iterations\n", rep.LostIterations)
+	fmt.Printf("scenario %q: trained %d iterations over %.1fh of availability churn\n",
+		scenario.Name, rep.IterationsDone, tr.Horizon.Hours())
+	fmt.Printf("rollback losses: %d iterations; planning %.3fs total, %d warm-cache hits\n",
+		rep.LostIterations, rep.PlanningSeconds, rep.PlanCacheHits)
 	for i, t := range rep.Reconfigs {
 		gpus := 0
 		if i < len(rep.PlansUsed) {
 			gpus = rep.PlansUsed[i].GPUCount()
 		}
-		fmt.Printf("reconfig #%d -> %2d GPUs: total %5.2fs "+
-			"(plan %.2fs, cleanup %.1fs, broadcast %.2fs, groups %.2fs, model %.1fs, data %.1fs)\n",
-			i, gpus, t.Total(), t.Planning, t.Cleanup, t.Broadcast, t.GroupInit, t.ModelRedef, t.Dataloader)
+		fmt.Printf("reconfig #%2d -> %2d GPUs: total %5.2fs "+
+			"(plan %.3fs/%d hits, cleanup %.1fs, broadcast %.2fs, groups %.2fs, model %.1fs, data %.1fs)\n",
+			i, gpus, t.Total(), t.Planning, t.PlanCacheHits, t.Cleanup, t.Broadcast,
+			t.GroupInit, t.ModelRedef, t.Dataloader)
 	}
 }

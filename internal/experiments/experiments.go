@@ -244,6 +244,7 @@ var Registry = map[string]func(Opts) (Table, error){
 	"tab3":   Table3,
 	"scale":  Scalability,
 	"reconf": Reconfiguration,
+	"replan": ReplanLab,
 }
 
 // IDs returns registry keys in stable order.

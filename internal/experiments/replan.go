@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/trace"
+)
+
+// ReplanLab quantifies warm-start replanning on a preemption-storm
+// scenario: for every distinct availability snapshot the storm produces,
+// it plans once cold and once through a persistent warm cache seeded by
+// the preceding replans, reporting search time, explored nodes, cache
+// utilisation, and whether the two searches chose the same plan (they
+// must — the warm caches hold pure functions).
+func ReplanLab(o Opts) (Table, error) {
+	cfg := model.OPT350M()
+	l, err := newLab(cfg, o, core.A100)
+	if err != nil {
+		return Table{}, err
+	}
+	sc, ok := trace.ScenarioByName("preemption-storm")
+	if !ok {
+		return Table{}, fmt.Errorf("preemption-storm scenario missing")
+	}
+	pools := sc.Trace(1).DistinctPools()
+	if o.Quick && len(pools) > 8 {
+		pools = pools[:8]
+	}
+
+	t := Table{
+		ID:    "replan",
+		Title: "Warm-start replanning on a preemption storm (scenario engine + WarmCache)",
+		Headers: []string{"event", "gpus", "cold time", "warm time", "speedup",
+			"cold explored", "warm explored", "cache hits", "same plan"},
+	}
+	warm := l.sailor(core.MaxThroughput, core.Constraints{})
+	warm.Opts.Warm = planner.NewWarmCache()
+	var prev core.Plan
+	var coldTot, warmTot time.Duration
+	for i, pool := range pools {
+		cold, err := l.sailor(core.MaxThroughput, core.Constraints{}).Plan(pool)
+		if err != nil {
+			return t, err
+		}
+		res, err := warm.Replan(prev, pool)
+		if err != nil {
+			return t, err
+		}
+		prev = res.Plan
+		coldTot += cold.SearchTime
+		warmTot += res.SearchTime
+		speedup := "-"
+		if res.SearchTime > 0 {
+			speedup = fmtF(float64(cold.SearchTime)/float64(res.SearchTime), 1) + "x"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", pool.TotalGPUs()),
+			cold.SearchTime.Round(10 * time.Microsecond).String(),
+			res.SearchTime.Round(10 * time.Microsecond).String(),
+			speedup,
+			fmt.Sprintf("%d", cold.Explored),
+			fmt.Sprintf("%d", res.Explored),
+			fmt.Sprintf("%d", res.CacheHits),
+			fmt.Sprintf("%t", res.Plan.String() == cold.Plan.String()),
+		})
+	}
+	if warmTot > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"cumulative: cold %s vs warm %s (%sx) over %d replans; cache holds %d entries",
+			coldTot.Round(time.Millisecond), warmTot.Round(time.Millisecond),
+			fmtF(float64(coldTot)/float64(warmTot), 1), len(pools), warm.Opts.Warm.Entries()))
+	}
+	return t, nil
+}

@@ -80,6 +80,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5a", "fig5b", "fig6", "fig7",
 		"fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "tab1", "tab2", "tab3", "scale", "reconf",
+		"replan",
 	}
 	for _, id := range want {
 		if Registry[id] == nil {

@@ -89,6 +89,24 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 		if n, ok := t.dpMemo[memoKey]; ok {
 			return n
 		}
+		// Warm start: consult the snapshot of DP memos persisted by earlier
+		// replans. A hit short-circuits the whole subtree (it neither counts
+		// as explored nor recurses), which is where Replan's speedup on
+		// churn traces comes from. Hits are re-published into pending so
+		// the merge's over-cap eviction keeps the live working set rather
+		// than retaining only the latest search's misses.
+		if t.warmPrefix != "" {
+			full := t.warmPrefix + memoKey
+			if n, ok := t.s.warmDP[full]; ok {
+				t.s.warmHits.Add(1)
+				t.dpMemo[memoKey] = n
+				if t.pending == nil {
+					t.pending = map[string]*dpNode{}
+				}
+				t.pending[full] = n
+				return n
+			}
+		}
 	}
 	t.s.explored.Add(1)
 
@@ -135,6 +153,17 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 	}
 	if memoKey != "" {
 		t.dpMemo[memoKey] = best
+		if t.warmPrefix != "" && !t.s.expired() {
+			// Persist only nodes from uncancelled exploration: a cut-off
+			// subtree may have skipped choices, and caching its partial
+			// best would poison later replans. nil results (infeasible
+			// suffixes) are cached too — knowing a region state cannot
+			// host the remaining stages is as reusable as a solution.
+			if t.pending == nil {
+				t.pending = map[string]*dpNode{}
+			}
+			t.pending[t.warmPrefix+memoKey] = best
+		}
 	}
 	return best
 }

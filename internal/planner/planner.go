@@ -27,11 +27,18 @@
 // or context is anytime — it returns the best of whatever the cutoff
 // allowed, and more workers cover more of the space before it.
 //
-// The code is split across four files: planner.go (configuration and the
-// Plan/PlanContext entry points), search.go (the worker pool and the
+// Replanning on a churn trace is warm-started: Replan/ReplanContext seed a
+// fallback incumbent from the previously deployed plan and, with a
+// WarmCache configured (Options.Warm), persist the minimum-TP cache and the
+// DP memos across calls so a replan skips every region state an earlier
+// search already solved. Warm results are bit-identical to cold planning on
+// the same pool — the caches hold pure functions of their keys.
+//
+// The code is split across five files: planner.go (configuration and the
+// Plan/PlanContext/Replan entry points), search.go (the worker pool and the
 // per-candidate DP-degree scan), dp.go (the Listing-1 dynamic program and
-// plan materialisation), and state.go (region-indexed resource state and
-// the shared caches).
+// plan materialisation), state.go (region-indexed resource state and the
+// shared caches), and warm.go (the cross-replan warm-start cache).
 package planner
 
 import (
@@ -91,6 +98,12 @@ type Options struct {
 	// recomputation when no plan fits memory otherwise — the
 	// rematerialisation extension the paper defers to future work (§6).
 	AllowRecompute bool
+	// Warm persists the minimum-TP cache and the DP memos across
+	// Plan/Replan calls (see WarmCache). Nil means every search starts
+	// cold. The cache binds to the first planner fingerprint that uses it;
+	// a planner with a different model, objective, constraints, heuristic
+	// set, or evaluator instance ignores it and searches cold.
+	Warm *WarmCache
 }
 
 // Result is the planner's output plus search telemetry.
@@ -104,6 +117,13 @@ type Result struct {
 	// fail the memory check — always 0 for Sailor, nonzero for baselines
 	// that skip memory modelling (Figures 8-9 bold numbers).
 	OOMPlansEmitted int
+	// WarmStart reports whether the search ran against a warm cache
+	// snapshot (Options.Warm set and fingerprint-compatible).
+	WarmStart bool
+	// CacheHits counts DP subtrees served from the warm cache instead of
+	// being re-explored; each hit also subtracts the whole subtree from
+	// Explored.
+	CacheHits int
 }
 
 // Evaluator is the estimation backend the planner searches against: the
@@ -154,6 +174,75 @@ func (pl *Planner) Plan(pool *cluster.Pool) (Result, error) {
 // found so far (or an error when nothing valid was found). Options.Deadline,
 // when set, still applies on top of ctx.
 func (pl *Planner) PlanContext(ctx context.Context, pool *cluster.Pool) (Result, error) {
+	return pl.planContext(ctx, pool, nil, "")
+}
+
+// Replan is the warm-start entry point of the elastic hot path: plan `pool`
+// starting from the plan deployed before the availability change. The
+// previous plan seeds a fallback incumbent (so a deadline-cut replan is
+// never worse than keeping the old plan, when it still fits the pool), and
+// a configured Options.Warm cache lets the search skip every DP region
+// state an earlier replan already solved. A warm Replan that runs to
+// completion returns exactly the plan cold planning returns on the same
+// pool.
+func (pl *Planner) Replan(prev core.Plan, pool *cluster.Pool) (Result, error) {
+	return pl.ReplanContext(context.Background(), prev, pool)
+}
+
+// ReplanContext is Replan with caller-controlled cancellation.
+func (pl *Planner) ReplanContext(ctx context.Context, prev core.Plan, pool *cluster.Pool) (Result, error) {
+	seed, sig := pl.seedFromPrev(prev, pool)
+	return pl.planContext(ctx, pool, seed, sig)
+}
+
+// seedFromPrev evaluates the previous plan against the new pool: if the
+// pool still holds every GPU the plan occupies and the estimate passes the
+// memory check and constraints, the plan is usable as a fallback incumbent.
+func (pl *Planner) seedFromPrev(prev core.Plan, pool *cluster.Pool) (*Result, string) {
+	if len(prev.Stages) == 0 {
+		return nil, ""
+	}
+	if !pool.CanFit(prev) {
+		return nil, ""
+	}
+	est, err := pl.seedEstimate(prev)
+	if err != nil || !est.FitsMemory {
+		return nil, ""
+	}
+	if !pl.Opts.Constraints.Satisfied(est.IterTime, est.Cost()) {
+		return nil, ""
+	}
+	return &Result{Plan: prev, Estimate: est}, prev.String()
+}
+
+// seedEstimate scores the previous plan, serving it from the warm cache's
+// estimate map when possible: the deployed plan was once a materialised
+// candidate, so at warm steady state its estimate is already persisted and
+// the seed check costs no simulator call.
+func (pl *Planner) seedEstimate(prev core.Plan) (core.Estimate, error) {
+	if w := pl.Opts.Warm; w != nil {
+		if _, est, _, ok := w.snapshot(pl.fingerprint(), pl.Sim); ok {
+			if e, ok := est[estKey(prev)]; ok {
+				return e, nil
+			}
+		}
+	}
+	return pl.Sim.Estimate(prev)
+}
+
+// fingerprint identifies the search configuration a WarmCache binds to.
+// The evaluator is bound separately by instance identity (WarmCache.ev):
+// cached DP nodes embed its stage timings, so entries must never cross
+// estimation backends (or profiler seeds). Deadline and Workers are
+// excluded — they change how much of the space a cut-off search covers,
+// never the value of a cached entry.
+func (pl *Planner) fingerprint() string {
+	return fmt.Sprintf("%+v|%v|%+v|%+v|pp%d|mbs%v",
+		pl.Cfg, pl.Opts.Objective, pl.Opts.Constraints, pl.Opts.Heuristics,
+		pl.Opts.MaxPP, pl.mbsCandidates())
+}
+
+func (pl *Planner) planContext(ctx context.Context, pool *cluster.Pool, seed *Result, seedSig string) (Result, error) {
 	start := time.Now()
 	if pl.Opts.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -161,6 +250,11 @@ func (pl *Planner) PlanContext(ctx context.Context, pool *cluster.Pool) (Result,
 		defer cancel()
 	}
 	if err := ctx.Err(); err != nil {
+		if seed != nil {
+			res := *seed
+			res.SearchTime = time.Since(start)
+			return res, nil
+		}
 		return Result{}, fmt.Errorf("planner: %w", err)
 	}
 	rs := newRegionState(pool, pl.Opts.Heuristics.H6MergeZones)
@@ -176,6 +270,16 @@ func (pl *Planner) PlanContext(ctx context.Context, pool *cluster.Pool) (Result,
 		// trades ~1/3 extra compute for a far smaller footprint.
 		s.runPass(rs, pool, true)
 	}
+	if s.warmOn {
+		pl.Opts.Warm.merge(pl.fingerprint(), s.pending, s.pendEst)
+	}
+	// The seed is a fallback, not a competitor: a search that runs to
+	// completion returns exactly what cold planning returns, and the
+	// previous plan only steps in when the cutoff fired before the search
+	// found anything at least as good.
+	if seed != nil && (s.best == nil || (s.expired() && pl.better(seed, seedSig, s.best, s.bestSig))) {
+		s.best, s.bestSig = seed, seedSig
+	}
 	if s.best == nil {
 		res := Result{SearchTime: time.Since(start), Explored: int(s.explored.Load())}
 		if err := ctx.Err(); err != nil {
@@ -186,6 +290,8 @@ func (pl *Planner) PlanContext(ctx context.Context, pool *cluster.Pool) (Result,
 	best := *s.best
 	best.SearchTime = time.Since(start)
 	best.Explored = int(s.explored.Load())
+	best.WarmStart = s.warmOn
+	best.CacheHits = int(s.warmHits.Load())
 	return best, nil
 }
 

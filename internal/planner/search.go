@@ -2,6 +2,7 @@ package planner
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -17,7 +18,20 @@ type search struct {
 	pl       *Planner
 	done     atomic.Bool
 	explored atomic.Int64
-	minTP    minTPCache
+	minTP    *minTPCache
+
+	// Warm start (Options.Warm): warmDP/warmEst are read-only snapshots of
+	// the persisted DP memos and plan estimates taken when the search
+	// starts — every task may read them lock-free — and pendMu guards the
+	// entries this search computes for the single merge back into the
+	// cache at the end.
+	warmOn   bool
+	warmDP   map[string]*dpNode
+	warmEst  map[string]core.Estimate
+	warmHits atomic.Int64
+	pendMu   sync.Mutex
+	pending  map[string]*dpNode
+	pendEst  map[string]core.Estimate
 
 	// mu guards the incumbent. Workers publish candidates through offer's
 	// objective-aware compare-and-swap; ties break on the plan signature,
@@ -31,7 +45,14 @@ type search struct {
 
 func newSearch(pl *Planner, ctx context.Context) *search {
 	s := &search{pl: pl, watch: make(chan struct{})}
-	s.minTP.init()
+	if w := pl.Opts.Warm; w != nil {
+		if dp, est, mt, ok := w.snapshot(pl.fingerprint(), pl.Sim); ok {
+			s.warmOn, s.warmDP, s.warmEst, s.minTP = true, dp, est, mt
+		}
+	}
+	if s.minTP == nil {
+		s.minTP = newMinTPCache()
+	}
 	if d := ctx.Done(); d != nil {
 		// Latch cancellation into an atomic so the hot DP loop polls a
 		// plain load instead of taking the context's lock per node.
@@ -50,6 +71,28 @@ func newSearch(pl *Planner, ctx context.Context) *search {
 func (s *search) stop() { close(s.watch) }
 
 func (s *search) expired() bool { return s.done.Load() }
+
+// takePending folds one finished task's computed DP entries into the
+// search-wide pending set for the end-of-search cache merge.
+func (s *search) takePending(t *task) {
+	if len(t.pending) == 0 && len(t.pendEst) == 0 {
+		return
+	}
+	s.pendMu.Lock()
+	if s.pending == nil {
+		s.pending = make(map[string]*dpNode, len(t.pending))
+	}
+	for k, v := range t.pending {
+		s.pending[k] = v
+	}
+	if s.pendEst == nil {
+		s.pendEst = make(map[string]core.Estimate, len(t.pendEst))
+	}
+	for k, v := range t.pendEst {
+		s.pendEst[k] = v
+	}
+	s.pendMu.Unlock()
+}
 
 // offer publishes a candidate to the shared incumbent.
 func (s *search) offer(c *Result, sig string) {
@@ -88,6 +131,7 @@ func (s *search) runPass(rs *regionState, pool *cluster.Pool, recompute bool) {
 			}
 			t := &task{s: s, pl: s.pl, recompute: recompute}
 			t.searchDP(rs.clone(), pool, j.layers, j.mbs)
+			s.takePending(t)
 		}
 		return
 	}
@@ -103,6 +147,7 @@ func (s *search) runPass(rs *regionState, pool *cluster.Pool, recompute bool) {
 				}
 				t := &task{s: s, pl: s.pl, recompute: recompute}
 				t.searchDP(rs.clone(), pool, j.layers, j.mbs)
+				s.takePending(t)
 			}
 		}()
 	}
@@ -129,6 +174,28 @@ type task struct {
 	costLean bool
 	// recompute marks the current search pass as rematerialisation-mode.
 	recompute bool
+
+	// warmBase is the persisted-key prefix shared by the whole (pp, mbs)
+	// candidate (pool shape + pp + mbs); warmPrefix extends it with the
+	// per-scan fields (d, nb, recompute, costLean). Empty when the search
+	// has no warm cache.
+	warmBase   string
+	warmPrefix string
+	// pending/pendEst accumulate this task's computed DP entries and plan
+	// estimates under their persisted keys, flushed once into the search
+	// after searchDP returns.
+	pending map[string]*dpNode
+	pendEst map[string]core.Estimate
+}
+
+// resetMemo starts a fresh DP-degree scan: the scan-local memo is cleared
+// and the persisted-key prefix is recomputed from the scan parameters.
+// Callers set costLean/recompute before calling.
+func (t *task) resetMemo(d, nb int) {
+	t.dpMemo = map[string]*dpNode{}
+	if t.warmBase != "" {
+		t.warmPrefix = fmt.Sprintf("%s%d|%d|%t|%t@", t.warmBase, d, nb, t.recompute, t.costLean)
+	}
 }
 
 // searchDP explores DP degrees for one (layer partition, mbs) and publishes
@@ -150,6 +217,9 @@ func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, m
 	if maxD < 1 {
 		return
 	}
+	if t.s.warmOn {
+		t.warmBase = fmt.Sprintf("%s|%d|%d|", rs.shape(), pp, mbs)
+	}
 	var localBest *Result
 	var localSig string
 	noImprove := 0
@@ -170,14 +240,14 @@ func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, m
 			budget = 0
 		}
 		var nodes []*dpNode
-		t.dpMemo = map[string]*dpNode{}
 		t.costLean = false
+		t.resetMemo(d, nb)
 		if n := t.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, budget); n != nil {
 			nodes = append(nodes, n)
 		}
 		if pl.Opts.Constraints.MaxCostPerIter > 0 && budget == 0 {
-			t.dpMemo = map[string]*dpNode{}
 			t.costLean = true
+			t.resetMemo(d, nb)
 			if n := t.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, 0); n != nil {
 				nodes = append(nodes, n)
 			}
@@ -190,8 +260,7 @@ func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, m
 			if !ok {
 				continue
 			}
-			est, err := pl.Sim.Estimate(plan)
-			t.s.explored.Add(1)
+			est, err := t.estimate(plan)
 			if err != nil || !est.FitsMemory {
 				continue
 			}
@@ -223,6 +292,37 @@ func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, m
 			}
 		}
 	}
+}
+
+// estimate scores one materialised candidate plan, serving repeats from the
+// warm cache: the simulator's makespan evaluation is the measured hot spot
+// of a replan, and churn traces re-materialise the same candidates over and
+// over. The key — built only when a warm cache is attached, so cold
+// searches pay nothing here — is estKey's order-preserving serialization.
+// Served estimates count as cache hits, not as explored nodes.
+func (t *task) estimate(plan core.Plan) (core.Estimate, error) {
+	key := ""
+	if t.s.warmOn {
+		key = estKey(plan)
+		if est, ok := t.s.warmEst[key]; ok {
+			t.s.warmHits.Add(1)
+			// Re-publish so over-cap eviction keeps the working set.
+			if t.pendEst == nil {
+				t.pendEst = map[string]core.Estimate{}
+			}
+			t.pendEst[key] = est
+			return est, nil
+		}
+	}
+	est, err := t.pl.Sim.Estimate(plan)
+	t.s.explored.Add(1)
+	if err == nil && key != "" {
+		if t.pendEst == nil {
+			t.pendEst = map[string]core.Estimate{}
+		}
+		t.pendEst[key] = est
+	}
+	return est, err
 }
 
 // better orders candidates by the objective, breaking metric ties by the

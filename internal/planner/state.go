@@ -73,6 +73,23 @@ func (rs *regionState) clone() *regionState {
 	return c
 }
 
+// shape identifies the region/type index layout of the state. Persisted DP
+// memo keys are prefixed with it so entries from one pool are only consulted
+// for pools whose counts matrix is indexed identically.
+func (rs *regionState) shape() string {
+	var b strings.Builder
+	for _, r := range rs.regions {
+		b.WriteString(r)
+		b.WriteByte(',')
+	}
+	b.WriteByte('/')
+	for _, g := range rs.types {
+		b.WriteString(string(g))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
 func (rs *regionState) key(stage, ri int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d|%d", stage, ri)
@@ -112,10 +129,12 @@ type minTPCache struct {
 	}
 }
 
-func (c *minTPCache) init() {
+func newMinTPCache() *minTPCache {
+	c := &minTPCache{}
 	for i := range c.shards {
 		c.shards[i].m = map[minTPKey]int{}
 	}
+	return c
 }
 
 // shardOf hashes the key fields with FNV-1a.

@@ -24,6 +24,13 @@ type PhaseTimings struct {
 	// RolledBackIters counts training iterations lost to the checkpoint
 	// rollback.
 	RolledBackIters int
+	// PlanCacheHits counts DP subtrees the replan served from the
+	// planner's warm-start cache instead of re-exploring.
+	PlanCacheHits int
+	// PlanExplored is the replan's search-node count; on a warm replan it
+	// shrinks by the cached subtrees, which is where the Planning savings
+	// come from.
+	PlanExplored int
 }
 
 // Total returns the full downtime of one reconfiguration.
@@ -45,6 +52,12 @@ type Report struct {
 	PlansUsed        []core.Plan
 	LostIterations   int
 	CheckpointsTaken int
+	// PlanningSeconds is the cumulative wall-clock the run spent inside
+	// the planner across every reconfiguration.
+	PlanningSeconds float64
+	// PlanCacheHits is the cumulative warm-start cache utilisation over
+	// all replans (sum of the per-reconfig PlanCacheHits).
+	PlanCacheHits int
 }
 
 // Controller is the Sailor job controller: it owns the workers, watches
@@ -57,6 +70,11 @@ type Controller struct {
 	ckpt    *CheckpointManager
 	now     float64 // virtual time, seconds
 	iter    int     // global iteration counter
+	// warm is the controller's persistent warm-start cache, attached to an
+	// ephemeral copy of Cfg.Planner on every reconfiguration — so warm
+	// replanning neither mutates the caller's planner nor misses in-place
+	// changes the caller makes to it between events.
+	warm *planner.WarmCache
 }
 
 // ControllerConfig wires the controller's collaborators.
@@ -89,7 +107,23 @@ func NewController(cfg ControllerConfig) *Controller {
 		Cfg:     cfg,
 		workers: map[int]WorkerConn{},
 		ckpt:    NewCheckpointManager(cfg.CheckpointEvery, cfg.CheckpointFlushSec),
+		warm:    planner.NewWarmCache(),
 	}
+}
+
+// planner returns the planner to run this reconfiguration with: a fresh
+// copy of Cfg.Planner (so in-place changes the caller makes between events
+// always take effect, and warm state never leaks into the caller's
+// planner) with the controller's persistent warm cache attached — the
+// §4.2 replan hot path. A caller-injected shared cache takes precedence;
+// if the caller changed the planner's configuration mid-run, the cache's
+// fingerprint check makes the next search cold rather than wrong.
+func (c *Controller) planner() *planner.Planner {
+	cp := *c.Cfg.Planner
+	if cp.Opts.Warm == nil {
+		cp.Opts.Warm = c.warm
+	}
+	return &cp
 }
 
 // Deploy plans against a pool and sets up workers for the result. It
@@ -105,13 +139,25 @@ func (c *Controller) Deploy(pool *cluster.Pool) (PhaseTimings, error) {
 func (c *Controller) reconfigure(pool *cluster.Pool) (PhaseTimings, error) {
 	var t PhaseTimings
 
-	// Phase 1: planning (real planner, wall-clock measured).
+	// Phase 1: planning (real planner, wall-clock measured). After the
+	// first deploy the controller replans warm: the deployed plan seeds a
+	// fallback incumbent and the planner's warm cache skips DP region
+	// states earlier replans already solved.
 	start := time.Now()
-	res, err := c.Cfg.Planner.Plan(pool)
+	pl := c.planner()
+	var res planner.Result
+	var err error
+	if c.topo != nil {
+		res, err = pl.Replan(c.topo.Plan, pool)
+	} else {
+		res, err = pl.Plan(pool)
+	}
 	if err != nil {
 		return t, fmt.Errorf("runtime: replan failed: %w", err)
 	}
 	t.Planning = time.Since(start).Seconds()
+	t.PlanCacheHits = res.CacheHits
+	t.PlanExplored = res.Explored
 
 	topo, err := BuildTopology(res.Plan)
 	if err != nil {
@@ -283,11 +329,18 @@ func (c *Controller) RunElastic(tr *trace.Trace, step time.Duration) (Report, er
 
 	prev := time.Duration(0)
 	for _, ev := range tr.Events {
-		if ev.At > prev && c.topo != nil {
+		if ev.At > prev {
 			span := ev.At - prev
-			n, err := c.TrainFor(span.Seconds())
-			if err == nil {
-				rep.IterationsDone += n
+			if c.topo != nil {
+				n, err := c.TrainFor(span.Seconds())
+				if err == nil {
+					rep.IterationsDone += n
+				}
+			} else {
+				// No deployment (pre-deploy or total blackout): the trace
+				// clock still advances, so in-flight checkpoint flushes can
+				// land and the report spans the real horizon.
+				c.now += span.Seconds()
 			}
 		}
 		prev = ev.At
@@ -298,6 +351,21 @@ func (c *Controller) RunElastic(tr *trace.Trace, step time.Duration) (Report, er
 		}
 		pool := tr.PoolAt(ev.At)
 		if pool.TotalGPUs() == 0 {
+			// Total blackout: nothing to run on. Tear the deployment down
+			// so no iterations accrue until capacity returns (the next
+			// non-empty snapshot always replans), and book the rollback
+			// now — workers died with everything past the last durable
+			// checkpoint, and if the trace ends in the blackout no later
+			// reconfigure will account for the loss.
+			before := c.iter
+			resume := c.ckpt.Rollback(c.now)
+			if c.iter > resume {
+				c.iter = resume
+			}
+			rep.LostIterations += before - c.iter
+			c.Shutdown()
+			c.topo = nil
+			lastPool = ""
 			continue
 		}
 		// Only replan when availability actually changed; the monitor
@@ -317,14 +385,23 @@ func (c *Controller) RunElastic(tr *trace.Trace, step time.Duration) (Report, er
 		p, _ := c.Plan()
 		rep.PlansUsed = append(rep.PlansUsed, p)
 	}
-	if c.topo != nil && tr.Horizon > prev {
-		n, err := c.TrainFor((tr.Horizon - prev).Seconds())
-		if err == nil {
-			rep.IterationsDone += n
+	if tr.Horizon > prev {
+		span := (tr.Horizon - prev).Seconds()
+		if c.topo != nil {
+			n, err := c.TrainFor(span)
+			if err == nil {
+				rep.IterationsDone += n
+			}
+		} else {
+			c.now += span
 		}
 	}
 	rep.VirtualSeconds = c.now
 	rep.CheckpointsTaken = c.ckpt.LastCompleted(c.now) / maxInt(1, c.Cfg.CheckpointEvery)
+	for _, t := range rep.Reconfigs {
+		rep.PlanningSeconds += t.Planning
+		rep.PlanCacheHits += t.PlanCacheHits
+	}
 	return rep, nil
 }
 

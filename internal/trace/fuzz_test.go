@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fuzzZones and fuzzGPUs are the alphabets the fuzzer indexes into. The
+// invariant checks query every (zone, gpu) combination, so pairs a decoded
+// event sequence happens not to mention exercise the no-events lookup path.
+var fuzzZones = []core.Zone{
+	{Region: "us-central1", Name: "us-central1-a"},
+	{Region: "us-central1", Name: "us-central1-b"},
+	{Region: "europe-west4", Name: "europe-west4-a"},
+}
+
+var fuzzGPUs = []core.GPUType{core.A100, core.V100}
+
+// decodeEvents turns fuzz bytes into an arbitrary event sequence: times out
+// of order and possibly past the horizon, deltas negative and over-reclaiming,
+// zones and GPU types mixed freely. 4 bytes per event.
+func decodeEvents(data []byte) []Event {
+	var evs []Event
+	for i := 0; i+4 <= len(data) && len(evs) < 256; i += 4 {
+		at := time.Duration(int(data[i])|int(data[i+1])<<8) * time.Second * 30
+		z := fuzzZones[int(data[i+2]>>4)%len(fuzzZones)]
+		g := fuzzGPUs[int(data[i+2])%len(fuzzGPUs)]
+		delta := int(int8(data[i+3]))
+		evs = append(evs, Event{At: at, Zone: z, GPU: g, Delta: delta})
+	}
+	return evs
+}
+
+// FuzzTraceApply feeds arbitrary event sequences through Synthetic and
+// checks the replay invariants: events sort stably, availability is never
+// negative, CountAt and PoolAt agree at every event boundary, and replay is
+// deterministic.
+func FuzzTraceApply(f *testing.F) {
+	f.Add([]byte{})
+	// One grant.
+	f.Add([]byte{10, 0, 0x00, 8})
+	// Grant then over-reclaim then grant again.
+	f.Add([]byte{10, 0, 0x00, 2, 20, 0, 0x00, 0x80, 30, 0, 0x00, 2})
+	// Out-of-order times across two zones.
+	f.Add([]byte{200, 0, 0x10, 4, 10, 0, 0x10, 4, 100, 0, 0x01, 0xFC})
+	// Ties at the same instant.
+	f.Add([]byte{50, 0, 0x00, 3, 50, 0, 0x00, 0xFE, 50, 0, 0x21, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := decodeEvents(data)
+		horizon := 4 * time.Hour
+		tr := Synthetic(horizon, evs...)
+
+		if len(tr.Events) != len(evs) {
+			t.Fatalf("Synthetic dropped events: %d in, %d out", len(evs), len(tr.Events))
+		}
+		// Time-sorted, and stable: events sharing an At keep input order.
+		for i := 1; i < len(tr.Events); i++ {
+			if tr.Events[i].At < tr.Events[i-1].At {
+				t.Fatalf("events out of order at %d", i)
+			}
+		}
+		next := map[time.Duration]int{}
+		for _, e := range tr.Events {
+			idx := next[e.At]
+			// Find the idx-th input event with this At; it must equal e.
+			seen := 0
+			found := false
+			for _, in := range evs {
+				if in.At != e.At {
+					continue
+				}
+				if seen == idx {
+					if in != e {
+						t.Fatalf("tie at %v not stable: got %+v want %+v", e.At, e, in)
+					}
+					found = true
+					break
+				}
+				seen++
+			}
+			if !found {
+				t.Fatalf("event %+v has no matching input", e)
+			}
+			next[e.At]++
+		}
+
+		// Availability invariants at every event boundary, straddling
+		// midpoints, and the horizon, for every (zone, gpu) pair — including
+		// pairs the trace never mentions.
+		ats := []time.Duration{0, horizon}
+		for _, e := range tr.Events {
+			ats = append(ats, e.At, e.At+time.Second)
+		}
+		for _, at := range ats {
+			pool := tr.PoolAt(at)
+			for _, z := range fuzzZones {
+				for _, g := range fuzzGPUs {
+					n := tr.CountAt(at, z, g)
+					if n < 0 {
+						t.Fatalf("negative CountAt(%v, %s, %s) = %d", at, z, g, n)
+					}
+					if p := pool.Available(z, g); p != n {
+						t.Fatalf("replay views disagree at %v for (%s,%s): CountAt=%d PoolAt=%d",
+							at, z, g, n, p)
+					}
+				}
+			}
+		}
+
+		// Replaying the same inputs yields the identical trace.
+		tr2 := Synthetic(horizon, evs...)
+		for i := range tr.Events {
+			if tr.Events[i] != tr2.Events[i] {
+				t.Fatalf("replay not deterministic at event %d", i)
+			}
+		}
+	})
+}

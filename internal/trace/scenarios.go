@@ -1,0 +1,315 @@
+package trace
+
+// The scenario engine: named families of availability traces synthesized
+// deterministically from a seed. Each scenario models one of the dynamic
+// cluster behaviours the paper targets (§2, §5.2) — preemption storms,
+// diurnal capacity waves, zone outages with recovery, staggered
+// heterogeneous arrivals, and geo-distributed capacity shifts — and returns
+// a *Trace the elastic controller can replay unchanged.
+//
+// Scenarios are pure functions of (seed, ScenarioOpts): the same inputs
+// reproduce the identical event sequence, which the golden determinism
+// tests in internal/runtime rely on.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// ScenarioOpts scales a scenario family. Zero fields fall back to the
+// scenario's defaults, so ScenarioOpts{} always means "the canonical shape".
+type ScenarioOpts struct {
+	// Horizon is the trace length.
+	Horizon time.Duration
+	// Base is the steady-state GPU count of the scenario's primary zone.
+	Base int
+}
+
+func (o ScenarioOpts) merged(def ScenarioOpts) ScenarioOpts {
+	if o.Horizon <= 0 {
+		o.Horizon = def.Horizon
+	}
+	if o.Base <= 0 {
+		o.Base = def.Base
+	}
+	return o
+}
+
+// Scenario is a named, seeded trace generator.
+type Scenario struct {
+	// Name identifies the scenario in registries and CLIs.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// GPUs are the GPU types the scenario's events mention, in the order a
+	// profiling campaign should cover them.
+	GPUs []core.GPUType
+	// Defaults are the canonical ScenarioOpts of the family.
+	Defaults ScenarioOpts
+
+	gen func(seed int64, o ScenarioOpts) *Trace
+}
+
+// Trace synthesizes the scenario's canonical trace from a seed.
+func (s Scenario) Trace(seed int64) *Trace { return s.gen(seed, s.Defaults) }
+
+// TraceWith synthesizes a scaled variant; zero opt fields keep the defaults.
+func (s Scenario) TraceWith(seed int64, o ScenarioOpts) *Trace {
+	return s.gen(seed, o.merged(s.Defaults))
+}
+
+// Scenarios returns every registered scenario, sorted by name.
+func Scenarios() []Scenario {
+	out := append([]Scenario(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioByName looks a scenario up by its registry name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+var registry = []Scenario{
+	GCPA100Scenario(),
+	PreemptionStorm(),
+	DiurnalWave(),
+	ZoneOutage(),
+	HeteroArrivals(),
+	GeoShift(),
+}
+
+// series tracks one (zone, gpu) availability level and emits the delta
+// events that move it. Targets are clamped at zero and deltas are derived
+// from the tracked level, so a series can never over-reclaim — CountAt and
+// PoolAt agree on every prefix of the trace.
+type series struct {
+	t    *Trace
+	z    core.Zone
+	g    core.GPUType
+	have int
+}
+
+func (s *series) set(at time.Duration, target int) {
+	if target < 0 {
+		target = 0
+	}
+	if d := target - s.have; d != 0 {
+		s.t.Events = append(s.t.Events, Event{At: at, Zone: s.z, GPU: s.g, Delta: d})
+		s.have = target
+	}
+}
+
+// ramp moves the series to target in `steps` evenly spaced events ending at
+// `end`, starting after `start`.
+func (s *series) ramp(start, end time.Duration, target, steps int) {
+	if steps < 1 {
+		steps = 1
+	}
+	span := end - start
+	from := s.have
+	for i := 1; i <= steps; i++ {
+		at := start + span*time.Duration(i)/time.Duration(steps)
+		s.set(at, from+(target-from)*i/steps)
+	}
+}
+
+// GCPA100Scenario wraps the paper's Figure-2 trace (GCPA100Trace) as a
+// registry entry so the replay tooling can run it by name.
+func GCPA100Scenario() Scenario {
+	return Scenario{
+		Name:        "gcp-a100",
+		Description: "paper Figure 2: two GCP zones chasing 8 A100s for 8 hours",
+		GPUs:        []core.GPUType{core.A100},
+		Defaults:    ScenarioOpts{Horizon: 8 * time.Hour, Base: 8},
+		gen: func(seed int64, o ScenarioOpts) *Trace {
+			t, _, _ := gcpA100Trace(seed, o.Horizon, o.Base)
+			return t
+		},
+	}
+}
+
+// PreemptionStorm models spot-market churn: capacity repeatedly collapses to
+// a fraction of the base level and recovers in bursts. The post-storm level
+// always returns to exactly Base and the trough levels are drawn from a
+// small quantized set, so availability snapshots recur across the trace —
+// the workload warm-start replanning is built to exploit.
+func PreemptionStorm() Scenario {
+	return Scenario{
+		Name:        "preemption-storm",
+		Description: "repeated spot preemptions to quantized troughs with burst recovery",
+		GPUs:        []core.GPUType{core.A100},
+		Defaults:    ScenarioOpts{Horizon: 6 * time.Hour, Base: 16},
+		gen: func(seed int64, o ScenarioOpts) *Trace {
+			rng := rand.New(rand.NewSource(seed))
+			t := &Trace{Horizon: o.Horizon}
+			s := &series{t: t, z: cluster.GCPZone("us-central1", 'a'), g: core.A100}
+			// Times are horizon fractions (one unit = a minute at the
+			// default 6h) so Horizon overrides compress the storm cadence.
+			unit := o.Horizon / 360
+			// Initial grant arrives in two bursts.
+			s.ramp(0, o.Horizon/18, o.Base, 2)
+			troughs := []int{o.Base / 4, o.Base / 2, 3 * o.Base / 4}
+			at := o.Horizon/9 + time.Duration(rng.Intn(20))*unit
+			for at < o.Horizon-o.Horizon/12 {
+				s.set(at, troughs[rng.Intn(len(troughs))])
+				// Recovery back to base in 2-3 bursts over ~20 minutes.
+				s.ramp(at+o.Horizon/72, at+o.Horizon/18, o.Base, 2+rng.Intn(2))
+				at += 5*o.Horizon/36 + time.Duration(rng.Intn(40))*unit
+			}
+			t.sortEvents()
+			return t
+		},
+	}
+}
+
+// DiurnalWave models datacenter-local demand cycles: allocatable capacity
+// follows a 24-hour cosine between a night-time peak (Base) and a daytime
+// floor (Base/4), quantized to hourly steps with seeded phase jitter.
+func DiurnalWave() Scenario {
+	return Scenario{
+		Name:        "diurnal-wave",
+		Description: "24h cosine capacity wave between Base and Base/4, hourly steps",
+		GPUs:        []core.GPUType{core.A100},
+		Defaults:    ScenarioOpts{Horizon: 24 * time.Hour, Base: 16},
+		gen: func(seed int64, o ScenarioOpts) *Trace {
+			rng := rand.New(rand.NewSource(seed))
+			t := &Trace{Horizon: o.Horizon}
+			s := &series{t: t, z: cluster.GCPZone("us-central1", 'a'), g: core.A100}
+			floor := o.Base / 4
+			if floor < 1 {
+				floor = 1
+			}
+			phase := float64(rng.Intn(6)) // hours
+			for h := 0; float64(h) <= o.Horizon.Hours(); h++ {
+				frac := 0.5 * (1 + math.Cos(2*math.Pi*(float64(h)-phase)/24))
+				target := floor + int(math.Round(frac*float64(o.Base-floor)))
+				s.set(time.Duration(h)*time.Hour, target)
+			}
+			t.sortEvents()
+			return t
+		},
+	}
+}
+
+// ZoneOutage models a full availability-zone failure: two zones ramp to
+// Base each, one blacks out at a seeded time, and capacity returns in
+// stages after one to two hours. The surviving zone jitters by one GPU
+// around Base to keep the monitor busy with near-no-op events.
+func ZoneOutage() Scenario {
+	return Scenario{
+		Name:        "zone-outage",
+		Description: "one of two zones blacks out and recovers in stages",
+		GPUs:        []core.GPUType{core.A100},
+		Defaults:    ScenarioOpts{Horizon: 8 * time.Hour, Base: 8},
+		gen: func(seed int64, o ScenarioOpts) *Trace {
+			rng := rand.New(rand.NewSource(seed))
+			t := &Trace{Horizon: o.Horizon}
+			a := &series{t: t, z: cluster.GCPZone("us-central1", 'a'), g: core.A100}
+			b := &series{t: t, z: cluster.GCPZone("us-central1", 'b'), g: core.A100}
+			// Event times are fractions of the horizon (one "minute" unit is
+			// 1/480th, i.e. a real minute at the default 8h), so a Horizon
+			// override compresses the whole shape instead of pushing events
+			// past the end of the trace.
+			unit := o.Horizon / 480
+			a.ramp(0, o.Horizon/16, o.Base, 2)
+			b.ramp(o.Horizon/32, 3*o.Horizon/32, o.Base, 2)
+			outage := o.Horizon/4 + time.Duration(rng.Intn(120))*unit
+			b.set(outage, 0)
+			recovery := outage + o.Horizon/8 + time.Duration(rng.Intn(60))*unit
+			b.ramp(recovery, recovery+o.Horizon/12, o.Base, 2+rng.Intn(3))
+			// Zone A wobbles by one GPU a few times, always returning to Base.
+			for i := 0; i < 3; i++ {
+				at := time.Duration(1+rng.Intn(6)) * o.Horizon / 8
+				a.set(at, o.Base-1)
+				a.set(at+o.Horizon/48, o.Base)
+			}
+			t.sortEvents()
+			return t
+		},
+	}
+}
+
+// HeteroArrivals models a heterogeneous grant arriving in stages: A100s are
+// allocated early in one zone, a larger V100 pool joins from a sibling zone
+// hours later (the A100/V100 mixes of §5.2), and the V100s see one
+// spot-style partial preemption with recovery.
+func HeteroArrivals() Scenario {
+	return Scenario{
+		Name:        "hetero-arrivals",
+		Description: "early A100s joined by staggered V100 arrivals and a partial preemption",
+		GPUs:        []core.GPUType{core.A100, core.V100},
+		Defaults:    ScenarioOpts{Horizon: 6 * time.Hour, Base: 8},
+		gen: func(seed int64, o ScenarioOpts) *Trace {
+			rng := rand.New(rand.NewSource(seed))
+			t := &Trace{Horizon: o.Horizon}
+			a := &series{t: t, z: cluster.GCPZone("us-central1", 'a'), g: core.A100}
+			v := &series{t: t, z: cluster.GCPZone("us-central1", 'b'), g: core.V100}
+			// Times are horizon fractions (one unit = a minute at the
+			// default 6h) so Horizon overrides compress the shape.
+			unit := o.Horizon / 360
+			a.ramp(0, o.Horizon/6, o.Base, 3)
+			vBase := 2 * o.Base
+			start := o.Horizon/4 + time.Duration(rng.Intn(60))*unit
+			v.ramp(start, start+o.Horizon/6, vBase, 3+rng.Intn(2))
+			// One partial V100 preemption with full recovery.
+			hit := start + o.Horizon/3 + time.Duration(rng.Intn(30))*unit
+			if hit < o.Horizon-o.Horizon/6 {
+				v.set(hit, vBase/2)
+				v.ramp(hit+o.Horizon/18, hit+5*o.Horizon/36, vBase, 2)
+			}
+			t.sortEvents()
+			return t
+		},
+	}
+}
+
+// GeoShift models follow-the-sun capacity across two regions: the US region
+// starts near its peak while Europe idles, and over the horizon the two
+// swap levels in staggered steps — pipelines may span regions (H5) while DP
+// groups stay inside one.
+func GeoShift() Scenario {
+	return Scenario{
+		Name:        "geo-shift",
+		Description: "follow-the-sun capacity swap between us-central1 and europe-west4",
+		GPUs:        []core.GPUType{core.A100},
+		Defaults:    ScenarioOpts{Horizon: 12 * time.Hour, Base: 12},
+		gen: func(seed int64, o ScenarioOpts) *Trace {
+			rng := rand.New(rand.NewSource(seed))
+			t := &Trace{Horizon: o.Horizon}
+			us := &series{t: t, z: cluster.GCPZone("us-central1", 'a'), g: core.A100}
+			eu := &series{t: t, z: cluster.GCPZone("europe-west4", 'a'), g: core.A100}
+			lo := o.Base / 3
+			if lo < 1 {
+				lo = 1
+			}
+			us.set(0, o.Base)
+			eu.set(0, lo)
+			steps := 4
+			// Horizon fractions (one unit = a minute at the default 12h).
+			unit := o.Horizon / 720
+			swapStart := o.Horizon/4 + time.Duration(rng.Intn(120))*unit
+			swapEnd := swapStart + o.Horizon/4
+			// EU gains lead US losses by a half step: capacity overlaps
+			// briefly rather than dipping, as a scheduler would stage it.
+			span := swapEnd - swapStart
+			for i := 1; i <= steps; i++ {
+				at := swapStart + span*time.Duration(i)/time.Duration(steps)
+				eu.set(at-span/(2*time.Duration(steps)), lo+(o.Base-lo)*i/steps)
+				us.set(at, o.Base-(o.Base-lo)*i/steps)
+			}
+			t.sortEvents()
+			return t
+		},
+	}
+}

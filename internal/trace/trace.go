@@ -39,6 +39,9 @@ func (t *Trace) sortEvents() {
 }
 
 // CountAt returns the cumulative availability of (zone, gpu) at time at.
+// Replay semantics match PoolAt: a reclamation can never take availability
+// below zero, so an over-reclaiming event clamps at zero step by step rather
+// than accruing a negative balance a later grant would have to pay off.
 func (t *Trace) CountAt(at time.Duration, z core.Zone, g core.GPUType) int {
 	n := 0
 	for _, e := range t.Events {
@@ -47,10 +50,10 @@ func (t *Trace) CountAt(at time.Duration, z core.Zone, g core.GPUType) int {
 		}
 		if e.Zone == z && e.GPU == g {
 			n += e.Delta
+			if n < 0 {
+				n = 0
+			}
 		}
-	}
-	if n < 0 {
-		return 0
 	}
 	return n
 }
@@ -65,6 +68,34 @@ func (t *Trace) PoolAt(at time.Duration) *cluster.Pool {
 		p.Add(e.Zone, e.GPU, e.Delta)
 	}
 	return p
+}
+
+// DistinctPools materialises the sequence of distinct non-empty
+// availability snapshots the trace's events produce — the replan sequence
+// an elastic controller issues while replaying it. Events sharing a
+// timestamp are coalesced into one snapshot, and a total blackout resets
+// the dedup state (capacity returning to the pre-blackout level is a fresh
+// deployment), both matching the controller's per-event PoolAt view.
+func (t *Trace) DistinctPools() []*cluster.Pool {
+	var out []*cluster.Pool
+	cur := cluster.NewPool()
+	last := ""
+	for i := 0; i < len(t.Events); {
+		at := t.Events[i].At
+		for ; i < len(t.Events) && t.Events[i].At == at; i++ {
+			e := t.Events[i]
+			cur.Add(e.Zone, e.GPU, e.Delta)
+		}
+		if cur.TotalGPUs() == 0 {
+			last = ""
+			continue
+		}
+		if s := cur.String(); s != last {
+			last = s
+			out = append(out, cur.Clone())
+		}
+	}
+	return out
 }
 
 // Sample returns (time, count) pairs for one (zone, gpu) series at a fixed
@@ -88,10 +119,18 @@ type Point struct {
 // with occasional reclamations and reaches the full 8 only near hour 7;
 // zone B stalls below the request for the whole window.
 func GCPA100Trace(seed int64) (*Trace, core.Zone, core.Zone) {
+	return gcpA100Trace(seed, 8*time.Hour, 8)
+}
+
+// gcpA100Trace is the parameterized Figure-2 generator: `req` GPUs chased
+// over `horizon`, zone A reaching the request at 7/8 of the horizon and
+// zone B capped at 5/8 of it — the paper's shape at any scale. The
+// defaults (8h, 8) reproduce GCPA100Trace exactly.
+func gcpA100Trace(seed int64, horizon time.Duration, req int) (*Trace, core.Zone, core.Zone) {
 	zoneA := cluster.GCPZone("us-central1", 'a')
 	zoneB := cluster.GCPZone("us-central1", 'b')
 	rng := rand.New(rand.NewSource(seed))
-	t := &Trace{Horizon: 8 * time.Hour}
+	t := &Trace{Horizon: horizon}
 
 	gen := func(z core.Zone, acquireRatePerHour, reclaimProb float64, cap int, fullAt time.Duration) {
 		have := 0
@@ -116,6 +155,9 @@ func GCPA100Trace(seed int64) (*Trace, core.Zone, core.Zone) {
 			limit := cap
 			if fullAt > 0 && at < fullAt {
 				limit = cap - 2
+				if limit < 1 {
+					limit = 1
+				}
 			}
 			if have >= limit {
 				continue
@@ -137,8 +179,12 @@ func GCPA100Trace(seed int64) (*Trace, core.Zone, core.Zone) {
 			}
 		}
 	}
-	gen(zoneA, 2.0, 0.25, 8, 7*time.Hour)
-	gen(zoneB, 1.2, 0.35, 5, 0) // never reaches the requested 8
+	capB := req * 5 / 8
+	if capB < 1 {
+		capB = 1
+	}
+	gen(zoneA, 2.0, 0.25, req, horizon*7/8)
+	gen(zoneB, 1.2, 0.35, capB, 0) // never reaches the request
 	t.sortEvents()
 	return t, zoneA, zoneB
 }

@@ -19,6 +19,15 @@
 // plans many pools concurrently — the serving shape of a controller
 // replanning a fleet of jobs.
 //
+// Elastic runs replay availability scenarios: the Scenario* constructors
+// (and the name registry behind Scenarios/ScenarioByName) synthesize
+// seeded trace families — preemption storms, diurnal waves, zone outages,
+// staggered heterogeneous arrivals, geo shifts — and System.Replan
+// warm-starts the planner from the previously deployed plan, persisting DP
+// memos and the minimum-TP cache across calls so churn-driven replans skip
+// already-explored regions. cmd/sailor-replay runs any named scenario and
+// prints the reconfiguration ledger.
+//
 // Evaluation backends — the analytical simulator, the ground-truth engine,
 // and the baselines' published estimators — all satisfy the shared
 // Estimator interface (Simulator/GroundTruth accessors), so plan scoring
@@ -30,7 +39,10 @@ package sailor
 
 import (
 	"context"
+	"fmt"
 	goruntime "runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -76,6 +88,10 @@ type (
 	Trace = trace.Trace
 	// TraceEvent is one availability change.
 	TraceEvent = trace.Event
+	// Scenario is a named, seeded family of availability traces.
+	Scenario = trace.Scenario
+	// ScenarioOpts scales a scenario family.
+	ScenarioOpts = trace.ScenarioOpts
 	// Controller is the elastic training framework's job controller.
 	Controller = runtime.Controller
 	// Report summarises an elastic training run.
@@ -119,6 +135,34 @@ func Llama7B() Model { return model.Llama7B() }
 // Models returns every built-in model configuration by name.
 func Models() map[string]Model { return model.Zoo() }
 
+// ModelByName resolves a zoo model from a tolerant spelling of its name:
+// case and punctuation are ignored, so "opt350m", "OPT-350M", and
+// "opt-350m" all resolve to the same configuration. CLIs share this
+// resolver so every tool accepts the same names for the whole zoo.
+func ModelByName(name string) (Model, error) {
+	canon := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+				return r
+			case r >= 'A' && r <= 'Z':
+				return r + ('a' - 'A')
+			}
+			return -1
+		}, s)
+	}
+	want := canon(name)
+	names := make([]string, 0)
+	for zooName, m := range Models() {
+		if canon(zooName) == want {
+			return m, nil
+		}
+		names = append(names, zooName)
+	}
+	sort.Strings(names)
+	return Model{}, fmt.Errorf("unknown model %q (zoo: %s)", name, strings.Join(names, ", "))
+}
+
 // NewPool returns an empty availability pool.
 func NewPool() *Pool { return cluster.NewPool() }
 
@@ -136,6 +180,33 @@ func SyntheticTrace(horizon time.Duration, events ...TraceEvent) *Trace {
 	return trace.Synthetic(horizon, events...)
 }
 
+// Scenarios lists every registered availability scenario, sorted by name.
+func Scenarios() []Scenario { return trace.Scenarios() }
+
+// ScenarioByName resolves a scenario from its registry name (for CLIs; the
+// Scenario* constructors are the typed entry points).
+func ScenarioByName(name string) (Scenario, bool) { return trace.ScenarioByName(name) }
+
+// ScenarioGCPA100 is the paper's Figure-2 trace as a runnable scenario.
+func ScenarioGCPA100() Scenario { return trace.GCPA100Scenario() }
+
+// ScenarioPreemptionStorm models repeated spot preemptions with burst
+// recovery — the canonical warm-start replanning workload.
+func ScenarioPreemptionStorm() Scenario { return trace.PreemptionStorm() }
+
+// ScenarioDiurnalWave models a 24-hour capacity wave in hourly steps.
+func ScenarioDiurnalWave() Scenario { return trace.DiurnalWave() }
+
+// ScenarioZoneOutage models a full zone blackout with staged recovery.
+func ScenarioZoneOutage() Scenario { return trace.ZoneOutage() }
+
+// ScenarioHeteroArrivals models staggered A100/V100 grants with a partial
+// preemption.
+func ScenarioHeteroArrivals() Scenario { return trace.HeteroArrivals() }
+
+// ScenarioGeoShift models follow-the-sun capacity moving across regions.
+func ScenarioGeoShift() Scenario { return trace.GeoShift() }
+
 // System bundles a profiled job: the profiler output plus the simulator and
 // ground-truth engine built on it.
 type System struct {
@@ -150,6 +221,9 @@ type System struct {
 
 	simulator *sim.Simulator
 	gt        *groundtruth.Engine
+	// warm persists planner state across Replan calls (one cache per
+	// System; see planner.WarmCache for the determinism contract).
+	warm *planner.WarmCache
 }
 
 // Option customises New.
@@ -192,6 +266,7 @@ func New(m Model, gpus []GPUType, opts ...Option) (*System, error) {
 		Workers:   o.workers,
 		simulator: sim.New(m, prof),
 		gt:        gt,
+		warm:      planner.NewWarmCache(),
 	}, nil
 }
 
@@ -252,6 +327,29 @@ func (s *System) PlanBatch(ctx context.Context, pools []*Pool, obj Objective, co
 	return results, errs
 }
 
+// Replan is the elastic hot path: plan `pool` warm-started from the plan
+// deployed before an availability change. The previous plan seeds a
+// fallback incumbent (a cut-off replan never does worse than keeping it
+// while it still fits the pool), and the System's persistent warm cache
+// lets successive replans skip DP region states earlier searches already
+// solved. A warm replan that runs to completion returns exactly the plan
+// Plan returns on the same pool; PlanResult.CacheHits reports the reuse.
+// Replan is safe to call concurrently with itself and with Plan/PlanBatch.
+//
+// The warm cache binds to the first (objective, constraints) pair that
+// replans; calls with a different pair still work but search cold.
+func (s *System) Replan(prev Plan, pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	return s.ReplanContext(context.Background(), prev, pool, obj, cons)
+}
+
+// ReplanContext is Replan with caller-controlled cancellation.
+func (s *System) ReplanContext(ctx context.Context, prev Plan, pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	opts := s.plannerOpts(obj, cons, s.workerCount())
+	opts.Warm = s.warm
+	pl := planner.New(s.Model, s.simulator, opts)
+	return pl.ReplanContext(ctx, prev, pool)
+}
+
 // PlanWithRecompute is Plan with the activation-recomputation fallback
 // enabled: when nothing fits memory, the planner retries with
 // rematerialisation, trading ~1/3 extra compute for a smaller footprint.
@@ -279,9 +377,12 @@ func (s *System) Simulator() Estimator { return s.simulator }
 func (s *System) GroundTruth() Estimator { return s.gt }
 
 // NewController returns an elastic training controller (§4.4) wired to this
-// system's planner and ground truth.
+// system's planner, ground truth, and persistent warm-start cache — a
+// System.Replan call and a controller replan warm each other up.
 func (s *System) NewController() *Controller {
-	pl := planner.New(s.Model, s.simulator, s.plannerOpts(core.MaxThroughput, Constraints{}, s.workerCount()))
+	opts := s.plannerOpts(core.MaxThroughput, Constraints{}, s.workerCount())
+	opts.Warm = s.warm
+	pl := planner.New(s.Model, s.simulator, opts)
 	return runtime.NewController(runtime.ControllerConfig{Planner: pl, GT: s.gt})
 }
 
