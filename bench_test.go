@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	goruntime "runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -243,6 +244,45 @@ func BenchmarkPlanBatch(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkServicePlanThroughput measures the multi-tenant front door: 4
+// concurrent tenants issuing plan requests against one sailor.Service,
+// with the cross-tenant planner concurrency bound at 1 and at NumCPU. One
+// iteration = one plan request per tenant.
+func BenchmarkServicePlanThroughput(b *testing.B) {
+	const tenants = 4
+	var pools []*cluster.Pool
+	for i := 0; i < tenants; i++ {
+		pools = append(pools, cluster.NewPool().Set(benchZone, core.A100, 16+8*i))
+	}
+	for _, maxConc := range []int{1, goruntime.NumCPU()} {
+		b.Run(fmt.Sprintf("tenants=%d/max-concurrent=%d", tenants, maxConc), func(b *testing.B) {
+			svc := sailor.NewService(sailor.ServiceConfig{Workers: 1, MaxConcurrent: maxConc})
+			for i := 0; i < tenants; i++ {
+				if err := svc.OpenJob(fmt.Sprintf("tenant-%d", i), sailor.OPT350M(),
+					[]core.GPUType{core.A100}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for t := 0; t < tenants; t++ {
+					wg.Add(1)
+					go func(t int) {
+						defer wg.Done()
+						_, err := svc.Plan(context.Background(), fmt.Sprintf("tenant-%d", t),
+							pools[t], core.MaxThroughput, core.Constraints{})
+						if err != nil {
+							b.Error(err)
+						}
+					}(t)
+				}
+				wg.Wait()
+			}
+		})
 	}
 }
 

@@ -1,94 +1,167 @@
 // Command sailor-plan runs the Sailor planner against a resource quota and
 // prints the chosen allocation, parallelization plan, and estimates.
 //
+// It drives the same serving API in two modes: in-process (an embedded
+// sailor.Service) or, with -server, against a running sailor-serve daemon.
+// -json switches the output to the versioned wire schema, machine-readable
+// and byte-stable for identical inputs.
+//
 // Usage:
 //
 //	sailor-plan -model opt350m -quota us-central1-a:A100-40:16,us-central1-a:V100-16:16
 //	sailor-plan -model gptneo27b -objective min-cost -min-throughput 0.05 -quota ...
+//	sailor-plan -server 127.0.0.1:7477 -json -quota ...
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
+	"repro/internal/wire"
 	"repro/sailor"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sailor-plan: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	modelName := flag.String("model", "opt350m", "model from the zoo (e.g. opt350m, gptneo27b, llama7b)")
-	quota := flag.String("quota", "", "comma-separated zone:gpu:count triples, e.g. us-central1-a:A100-40:16")
-	objective := flag.String("objective", "max-throughput", "max-throughput or min-cost")
-	budget := flag.Float64("budget", 0, "max USD per iteration (0 = unconstrained)")
-	minTput := flag.Float64("min-throughput", 0, "min iterations/sec (0 = unconstrained)")
-	measure := flag.Bool("measure", false, "also run the plan on the ground-truth engine")
-	workers := flag.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines)")
-	flag.Parse()
+// planOutput is the -json document: versioned, built on the wire codec,
+// byte-stable for identical inputs except result.search_time_ns.
+type planOutput struct {
+	V         int             `json:"v"`
+	Model     string          `json:"model"`
+	Params    int64           `json:"params"`
+	Objective string          `json:"objective"`
+	Workers   int             `json:"workers"`
+	Server    string          `json:"server,omitempty"`
+	Result    wire.PlanResult `json:"result"`
+	Measured  *wire.Estimate  `json:"measured,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sailor-plan", flag.ContinueOnError)
+	modelName := fs.String("model", "opt350m", "model from the zoo (e.g. opt350m, gptneo27b, llama7b)")
+	quota := fs.String("quota", "", "comma-separated zone:gpu:count triples, e.g. us-central1-a:A100-40:16")
+	objective := fs.String("objective", "max-throughput", "max-throughput or min-cost")
+	budget := fs.Float64("budget", 0, "max USD per iteration (0 = unconstrained)")
+	minTput := fs.Float64("min-throughput", 0, "min iterations/sec (0 = unconstrained)")
+	measure := fs.Bool("measure", false, "also run the plan on the ground-truth engine (in-process mode only)")
+	workers := fs.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines; in-process mode)")
+	server := fs.String("server", "", "drive a sailor-serve daemon at host:port instead of planning in-process")
+	job := fs.String("job", "sailor-plan", "job name to open on the service")
+	jsonOut := fs.Bool("json", false, "emit the versioned wire-schema JSON document instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
 	}
 
-	m, err := modelByName(*modelName)
+	m, err := sailor.ModelByName(*modelName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pool, gpus, err := parseQuota(*quota)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	obj := sailor.MaxThroughput
-	if *objective == "min-cost" {
-		obj = sailor.MinCost
-	}
-
-	sys, err := sailor.New(m, gpus, sailor.WithWorkers(*workers))
+	obj, err := sailor.ParseObjective(*objective)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	res, err := sys.Plan(pool, obj, sailor.Constraints{
-		MaxCostPerIter: *budget,
-		MinThroughput:  *minTput,
-	})
+	cons := sailor.Constraints{MaxCostPerIter: *budget, MinThroughput: *minTput}
+
+	// Both modes speak the same API; only the transport differs.
+	var api sailor.API
+	if *server != "" {
+		if *measure {
+			return fmt.Errorf("-measure needs the in-process ground-truth engine; drop -server")
+		}
+		c, err := sailor.Dial(*server)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		api = c
+	} else {
+		api = sailor.NewService(sailor.ServiceConfig{Workers: *workers})
+	}
+	if err := api.OpenJob(*job, m, gpus); err != nil {
+		return err
+	}
+	// Release the job name so repeated invocations against a long-lived
+	// daemon don't collide on "already open".
+	defer api.CloseJob(*job)
+	res, err := api.Plan(context.Background(), *job, pool, obj, cons)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("model:        %s (%d params)\n", m.Name, m.TotalParams())
-	fmt.Printf("plan:         %s\n", res.Plan)
-	fmt.Printf("GPUs:         %d\n", res.Plan.GPUCount())
-	fmt.Printf("est time:     %.3f s/iter (%.3f iters/sec)\n", res.Estimate.IterTime, res.Estimate.Throughput())
-	fmt.Printf("est cost:     $%.3f/iter (compute $%.3f + egress $%.3f)\n",
-		res.Estimate.Cost(), res.Estimate.ComputeCost, res.Estimate.EgressCost)
-	fmt.Printf("peak memory:  %.1f GiB on %s\n", float64(res.Estimate.PeakMemory)/(1<<30), res.Estimate.PeakMemoryGPU)
-	fmt.Printf("search time:  %s (%d nodes explored, %d workers)\n", res.SearchTime, res.Explored, *workers)
-
+	var measured *sailor.Estimate
 	if *measure {
+		sys, err := sailor.New(m, gpus, sailor.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
 		real, err := sys.Measure(res.Plan)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("measured:     %.3f s/iter (%.3f iters/sec), $%.3f/iter\n",
-			real.IterTime, real.Throughput(), real.Cost())
+		measured = &real
 	}
-}
 
-func modelByName(name string) (sailor.Model, error) {
-	// The whole zoo resolves through the shared facade resolver, so every
-	// CLI accepts the same tolerant spellings.
-	return sailor.ModelByName(name)
+	if *jsonOut {
+		doc := planOutput{
+			V:         sailor.WireVersion,
+			Model:     m.Name,
+			Params:    m.TotalParams(),
+			Objective: obj.String(),
+			Workers:   *workers,
+			Server:    *server,
+			Result:    wire.FromResult(res),
+		}
+		if measured != nil {
+			e := wire.FromEstimate(*measured)
+			doc.Measured = &e
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Fprintf(out, "model:        %s (%d params)\n", m.Name, m.TotalParams())
+	if *server != "" {
+		fmt.Fprintf(out, "server:       %s (job %q, wire schema v%d)\n", *server, *job, sailor.WireVersion)
+	}
+	fmt.Fprintf(out, "plan:         %s\n", res.Plan)
+	fmt.Fprintf(out, "GPUs:         %d\n", res.Plan.GPUCount())
+	fmt.Fprintf(out, "est time:     %.3f s/iter (%.3f iters/sec)\n", res.Estimate.IterTime, res.Estimate.Throughput())
+	fmt.Fprintf(out, "est cost:     $%.3f/iter (compute $%.3f + egress $%.3f)\n",
+		res.Estimate.Cost(), res.Estimate.ComputeCost, res.Estimate.EgressCost)
+	fmt.Fprintf(out, "peak memory:  %.1f GiB on %s\n", float64(res.Estimate.PeakMemory)/(1<<30), res.Estimate.PeakMemoryGPU)
+	fmt.Fprintf(out, "search time:  %s (%d nodes explored, %d workers)\n", res.SearchTime, res.Explored, *workers)
+	if measured != nil {
+		fmt.Fprintf(out, "measured:     %.3f s/iter (%.3f iters/sec), $%.3f/iter\n",
+			measured.IterTime, measured.Throughput(), measured.Cost())
+	}
+	return nil
 }
 
 func parseQuota(s string) (*sailor.Pool, []sailor.GPUType, error) {
 	if s == "" {
-		fmt.Fprintln(os.Stderr, "missing -quota; example: -quota us-central1-a:A100-40:16,us-central1-b:V100-16:32")
-		os.Exit(2)
+		return nil, nil, fmt.Errorf("missing -quota; example: -quota us-central1-a:A100-40:16,us-central1-b:V100-16:32")
 	}
 	pool := sailor.NewPool()
 	seen := map[sailor.GPUType]bool{}

@@ -1,15 +1,24 @@
-// Command sailor-replay runs a named availability scenario through the
-// elastic controller and prints the reconfiguration ledger: every replan's
-// plan, downtime breakdown, and warm-start cache utilisation.
+// Command sailor-replay runs a named availability scenario and prints the
+// reconfiguration ledger: every replan's plan, downtime breakdown, and
+// warm-start cache utilisation.
+//
+// In-process (default) it replays the scenario through the elastic
+// controller. With -server it drives a sailor-serve daemon instead: every
+// distinct availability snapshot becomes a plan/replan request, exercising
+// the §5.5 control-plane loop over the wire. -json emits the versioned
+// wire-schema ledger in either mode.
 //
 // Usage:
 //
 //	sailor-replay -list
 //	sailor-replay -scenario preemption-storm
 //	sailor-replay -scenario zone-outage -seed 7 -model gptneo27b -base 16
+//	sailor-replay -scenario preemption-storm -server 127.0.0.1:7477 -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,60 +28,169 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/wire"
 	"repro/sailor"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sailor-replay: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	list := flag.Bool("list", false, "list registered scenarios and exit")
-	name := flag.String("scenario", "", "scenario to replay (see -list)")
-	seed := flag.Int64("seed", 42, "scenario seed")
-	modelName := flag.String("model", "OPT-350M", "model from the zoo (see internal/model)")
-	workers := flag.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines)")
-	horizon := flag.Duration("horizon", 0, "override the scenario horizon (0 = scenario default)")
-	base := flag.Int("base", 0, "override the scenario base GPU count (0 = scenario default)")
-	flag.Parse()
+// replayOutput is the -json ledger: versioned, built on the wire codec.
+// Local (controller) replays carry Report; -server replays carry Steps,
+// one planner result per distinct availability snapshot.
+type replayOutput struct {
+	V              int               `json:"v"`
+	Scenario       string            `json:"scenario"`
+	Description    string            `json:"description"`
+	Model          string            `json:"model"`
+	Seed           int64             `json:"seed"`
+	HorizonSeconds float64           `json:"horizon_seconds"`
+	Events         int               `json:"events"`
+	Workers        int               `json:"workers"`
+	Server         string            `json:"server,omitempty"`
+	Report         *wire.Report      `json:"report,omitempty"`
+	Steps          []wire.PlanResult `json:"steps,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sailor-replay", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list registered scenarios and exit")
+	name := fs.String("scenario", "", "scenario to replay (see -list)")
+	seed := fs.Int64("seed", 42, "scenario seed")
+	modelName := fs.String("model", "OPT-350M", "model from the zoo (see internal/model)")
+	workers := fs.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines; in-process mode)")
+	horizon := fs.Duration("horizon", 0, "override the scenario horizon (0 = scenario default)")
+	base := fs.Int("base", 0, "override the scenario base GPU count (0 = scenario default)")
+	server := fs.String("server", "", "drive a sailor-serve daemon at host:port instead of the in-process controller")
+	job := fs.String("job", "sailor-replay", "job name to open on the service (with -server)")
+	jsonOut := fs.Bool("json", false, "emit the versioned wire-schema JSON ledger instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		printScenarios(os.Stdout)
-		return
+		printScenarios(out)
+		return nil
 	}
 	sc, ok := sailor.ScenarioByName(*name)
 	if !ok {
+		var b strings.Builder
+		printScenarios(&b)
 		if *name == "" {
-			fmt.Fprintln(os.Stderr, "missing -scenario; registered scenarios:")
-		} else {
-			fmt.Fprintf(os.Stderr, "unknown scenario %q; registered scenarios:\n", *name)
+			return fmt.Errorf("missing -scenario; registered scenarios:\n%s", b.String())
 		}
-		printScenarios(os.Stderr)
-		os.Exit(2)
+		return fmt.Errorf("unknown scenario %q; registered scenarios:\n%s", *name, b.String())
 	}
 	m, err := sailor.ModelByName(*modelName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
 	}
-
 	tr := sc.TraceWith(*seed, sailor.ScenarioOpts{Horizon: *horizon, Base: *base})
+	doc := replayOutput{
+		V:              sailor.WireVersion,
+		Scenario:       sc.Name,
+		Description:    sc.Description,
+		Model:          m.Name,
+		Seed:           *seed,
+		HorizonSeconds: tr.Horizon.Seconds(),
+		Events:         len(tr.Events),
+		Workers:        *workers,
+		Server:         *server,
+	}
+
+	if *server != "" {
+		steps, err := replayViaServer(*server, *job, m, sc, tr)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return writeJSON(out, docWithSteps(doc, steps))
+		}
+		fmt.Fprintf(out, "scenario:  %s — %s\n", sc.Name, sc.Description)
+		fmt.Fprintf(out, "model:     %s   seed: %d   horizon: %s   events: %d   server: %s\n",
+			m.Name, *seed, tr.Horizon, len(tr.Events), *server)
+		fmt.Fprintln(out)
+		writeStepLedger(out, steps)
+		return nil
+	}
+
 	sys, err := sailor.New(m, sc.GPUs, sailor.WithWorkers(*workers))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ctrl := sys.NewController()
 	rep, err := ctrl.RunElastic(tr, time.Minute)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-
-	fmt.Printf("scenario:  %s — %s\n", sc.Name, sc.Description)
-	fmt.Printf("model:     %s   seed: %d   horizon: %s   events: %d   workers: %d\n",
+	if *jsonOut {
+		r := wire.FromReport(rep)
+		doc.Report = &r
+		return writeJSON(out, doc)
+	}
+	fmt.Fprintf(out, "scenario:  %s — %s\n", sc.Name, sc.Description)
+	fmt.Fprintf(out, "model:     %s   seed: %d   horizon: %s   events: %d   workers: %d\n",
 		m.Name, *seed, tr.Horizon, len(tr.Events), *workers)
-	fmt.Println()
-	writeLedger(os.Stdout, rep)
+	fmt.Fprintln(out)
+	writeLedger(out, rep)
+	return nil
+}
+
+func docWithSteps(doc replayOutput, steps []sailor.PlanResult) replayOutput {
+	doc.Steps = make([]wire.PlanResult, len(steps))
+	for i, s := range steps {
+		doc.Steps[i] = wire.FromResult(s)
+	}
+	return doc
+}
+
+func writeJSON(out io.Writer, doc replayOutput) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// replayViaServer turns the trace's distinct availability snapshots into
+// the §5.5 control-plane request sequence: plan the first, then replan
+// each successive snapshot from the previous response's plan.
+func replayViaServer(addr, job string, m sailor.Model, sc sailor.Scenario, tr *sailor.Trace) ([]sailor.PlanResult, error) {
+	pools := tr.DistinctPools()
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("scenario produces no non-empty pools")
+	}
+	c, err := sailor.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.OpenJob(job, m, sc.GPUs); err != nil {
+		return nil, err
+	}
+	defer c.CloseJob(job)
+	steps := make([]sailor.PlanResult, 0, len(pools))
+	var prev sailor.Plan
+	for i, pool := range pools {
+		var res sailor.PlanResult
+		if i == 0 {
+			res, err = c.Plan(context.Background(), job, pool, sailor.MaxThroughput, sailor.Constraints{})
+		} else {
+			res, err = c.Replan(context.Background(), job, prev, pool, sailor.MaxThroughput, sailor.Constraints{})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %d: %w", i, err)
+		}
+		steps = append(steps, res)
+		prev = res.Plan
+	}
+	return steps, nil
 }
 
 func printScenarios(w io.Writer) {
@@ -86,19 +204,28 @@ func printScenarios(w io.Writer) {
 	}
 }
 
+// writeStepLedger renders the per-snapshot planner results of a -server
+// replay.
+func writeStepLedger(w io.Writer, steps []sailor.PlanResult) {
+	fmt.Fprintln(w, "replan ledger (via server):")
+	fmt.Fprintf(w, "  %3s  %4s  %5s  %8s  %s\n", "#", "gpus", "hits", "explored", "plan")
+	for i, s := range steps {
+		fmt.Fprintf(w, "  %3d  %4d  %5d  %8d  %s\n",
+			i, s.Plan.GPUCount(), s.CacheHits, s.Explored, s.Plan)
+	}
+}
+
 // writeLedger renders the reconfiguration ledger and run summary.
 func writeLedger(w io.Writer, rep sailor.Report) {
 	fmt.Fprintln(w, "reconfiguration ledger:")
 	fmt.Fprintf(w, "  %3s  %4s  %9s  %9s  %5s  %8s  %s\n",
 		"#", "gpus", "downtime", "planning", "hits", "explored", "plan")
-	totalDown := 0.0
 	for i, t := range rep.Reconfigs {
 		gpus, plan := 0, ""
 		if i < len(rep.PlansUsed) {
 			gpus = rep.PlansUsed[i].GPUCount()
 			plan = rep.PlansUsed[i].String()
 		}
-		totalDown += t.Total()
 		fmt.Fprintf(w, "  %3d  %4d  %8.2fs  %8.3fs  %5d  %8d  %s\n",
 			i, gpus, t.Total(), t.Planning, t.PlanCacheHits, t.PlanExplored, plan)
 	}
@@ -106,7 +233,7 @@ func writeLedger(w io.Writer, rep sailor.Report) {
 	fmt.Fprintf(w, "  iterations:       %d done, %d lost to rollbacks, %d checkpoints\n",
 		rep.IterationsDone, rep.LostIterations, rep.CheckpointsTaken)
 	fmt.Fprintf(w, "  reconfigurations: %d, total downtime %.1fs over %.1f virtual hours\n",
-		len(rep.Reconfigs), totalDown, rep.VirtualSeconds/3600)
+		len(rep.Reconfigs), rep.TotalDowntimeSeconds(), rep.VirtualSeconds/3600)
 	fmt.Fprintf(w, "  planning:         %.3fs wall-clock total, %d warm-cache hits\n",
 		rep.PlanningSeconds, rep.PlanCacheHits)
 }

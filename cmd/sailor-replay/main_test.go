@@ -1,11 +1,113 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/testutil"
 	"repro/sailor"
 )
+
+// zeroReplayClocks drops every wall-clock field of the -json ledger: the
+// report's planning seconds (total and per-reconfig) locally, and the
+// steps' search times in server mode.
+func zeroReplayClocks(m map[string]any) {
+	if rep, ok := m["report"].(map[string]any); ok {
+		rep["planning_seconds"] = 0.0
+		// The virtual clock advances by the measured (wall-clock) planning
+		// time of each reconfiguration, so it is volatile too.
+		rep["virtual_seconds"] = 0.0
+		if rcs, ok := rep["reconfigs"].([]any); ok {
+			for _, rc := range rcs {
+				rc.(map[string]any)["planning"] = 0.0
+			}
+		}
+	}
+	if steps, ok := m["steps"].([]any); ok {
+		for _, s := range steps {
+			s.(map[string]any)["search_time_ns"] = 0.0
+		}
+	}
+	delete(m, "server")
+}
+
+// TestJSONGolden pins the -json ledger shape of an in-process replay.
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-scenario", "preemption-storm", "-seed", "1",
+		"-workers", "1", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckGolden(t, "replay.golden.json", testutil.NormalizeJSON(t, buf.Bytes(), zeroReplayClocks))
+}
+
+// TestServerModeLedger: two tenants replay a scenario step sequence
+// concurrently through one daemon (plan + replans over the wire), and both
+// get the deterministic ledger; -json and text modes agree on the steps.
+func TestServerModeLedger(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sailor.NewServer(lis, sailor.NewService(sailor.ServiceConfig{Workers: 2, MaxConcurrent: 4}))
+	go srv.Serve()
+	defer srv.Close()
+	addr := lis.Addr().String()
+
+	args := func(job string, json bool) []string {
+		a := []string{"-scenario", "preemption-storm", "-seed", "1",
+			"-server", addr, "-job", job}
+		if json {
+			a = append(a, "-json")
+		}
+		return a
+	}
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, 2)
+	errs := make([]error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = run(args([]string{"tenant-a", "tenant-b"}[g], true), &outs[g])
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 2; g++ {
+		if errs[g] != nil {
+			t.Fatalf("tenant %d: %v", g, errs[g])
+		}
+	}
+	a := testutil.NormalizeJSON(t, outs[0].Bytes(), zeroReplayClocks)
+	b := testutil.NormalizeJSON(t, outs[1].Bytes(), zeroReplayClocks)
+	if !bytes.Equal(a, b) {
+		t.Errorf("concurrent tenants got different ledgers:\n%s\nvs\n%s", a, b)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(outs[0].Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	steps, ok := doc["steps"].([]any)
+	if !ok || len(steps) < 2 {
+		t.Fatalf("server-mode ledger has %d steps, want >=2 (plan + replans)", len(steps))
+	}
+
+	var text bytes.Buffer
+	if err := run(args("tenant-text", false), &text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"replan ledger (via server):", "explored", "PP="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text ledger missing %q:\n%s", want, out)
+		}
+	}
+}
 
 func TestModelByName(t *testing.T) {
 	for _, alias := range []string{"OPT-350M", "opt350m", "opt-350m"} {

@@ -1,0 +1,72 @@
+// Command sailor-serve runs the Sailor planner as a long-lived daemon: a
+// multi-tenant sailor.Service hosted over the repository's length-prefixed
+// JSON rpc framing. Clients open named jobs, then plan, replan, and
+// simulate against them; sailor-plan and sailor-replay speak the protocol
+// via their -server flag, and any Go program can use sailor.Dial.
+//
+// Usage:
+//
+//	sailor-serve                              # listen on 127.0.0.1:7477
+//	sailor-serve -addr :7477 -max-concurrent 8 -cache 32
+//	sailor-plan -server 127.0.0.1:7477 -model opt350m -quota zone:A100-40:16
+//
+// Shutdown is graceful: SIGINT/SIGTERM drains in-flight requests before
+// the process exits; queued client calls fail with a typed error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sailor-serve: ")
+	srv, err := start(os.Args[1:], os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("draining and shutting down")
+	srv.Close()
+}
+
+// start parses flags, binds the listener, and begins serving in the
+// background; the caller owns shutdown via the returned server's Close.
+func start(args []string, out io.Writer) (*sailor.Server, error) {
+	fs := flag.NewFlagSet("sailor-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7477", "listen address (host:port; use :0 for an ephemeral port)")
+	workers := fs.Int("workers", runtime.NumCPU(), "planner search parallelism per request (goroutines)")
+	maxConcurrent := fs.Int("max-concurrent", runtime.NumCPU(), "planner searches running at once across all tenants")
+	cache := fs.Int("cache", 16, "profiled systems kept in the shared LRU")
+	seed := fs.Uint64("seed", 1, "profiling seed for every system the daemon builds")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return nil, err
+	}
+	svc := sailor.NewService(sailor.ServiceConfig{
+		Workers:         *workers,
+		MaxConcurrent:   *maxConcurrent,
+		SystemCacheSize: *cache,
+		Seed:            *seed,
+	})
+	srv := sailor.NewServer(lis, svc)
+	go srv.Serve()
+	fmt.Fprintf(out, "listening on %s (wire schema v%d, workers=%d, max-concurrent=%d, cache=%d)\n",
+		srv.Addr(), sailor.WireVersion, *workers, *maxConcurrent, *cache)
+	return srv, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/sailor"
+)
+
+// TestServeEndToEnd boots the daemon exactly as main does (via start) and
+// drives it with two concurrent tenants, each planning a scenario's first
+// availability snapshot and replanning the next one — the §5.5 control-
+// plane loop over the wire. Run under -race in CI.
+func TestServeEndToEnd(t *testing.T) {
+	var banner strings.Builder
+	srv, err := start([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-max-concurrent", "2"}, &banner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(banner.String(), "listening on") {
+		t.Errorf("start banner = %q", banner.String())
+	}
+	addr := srv.Addr().String()
+
+	sc, ok := sailor.ScenarioByName("preemption-storm")
+	if !ok {
+		t.Fatal("preemption-storm not registered")
+	}
+	pools := sc.Trace(1).DistinctPools()
+	if len(pools) < 2 {
+		t.Fatalf("scenario yields %d pools, need >=2", len(pools))
+	}
+
+	var wg sync.WaitGroup
+	plans := make([]string, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := sailor.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			job := []string{"tenant-a", "tenant-b"}[g]
+			if err := c.OpenJob(job, sailor.OPT350M(), sc.GPUs); err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := c.Plan(context.Background(), job, pools[0], sailor.MaxThroughput, sailor.Constraints{})
+			if err != nil {
+				t.Errorf("tenant %s plan: %v", job, err)
+				return
+			}
+			re, err := c.Replan(context.Background(), job, res.Plan, pools[1], sailor.MaxThroughput, sailor.Constraints{})
+			if err != nil {
+				t.Errorf("tenant %s replan: %v", job, err)
+				return
+			}
+			plans[g] = res.Plan.String() + "\n" + re.Plan.String()
+			if err := c.CloseJob(job); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if plans[0] == "" || plans[0] != plans[1] {
+		t.Errorf("tenants with identical jobs must get identical plans:\n%q\nvs\n%q", plans[0], plans[1])
+	}
+
+	c, err := sailor.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plans != 2 || st.Replans != 2 {
+		t.Errorf("stats plans/replans = %d/%d, want 2/2", st.Plans, st.Replans)
+	}
+	if st.SystemCacheHits != 1 {
+		t.Errorf("same-shape tenants should share one profiled system: hits = %d, want 1", st.SystemCacheHits)
+	}
+	if st.JobsOpen != 0 {
+		t.Errorf("JobsOpen = %d, want 0 after CloseJob", st.JobsOpen)
+	}
+}
+
+// TestStartBadFlags: flag and listen errors surface instead of crashing.
+func TestStartBadFlags(t *testing.T) {
+	var out strings.Builder
+	if _, err := start([]string{"-addr", "not-an-address"}, &out); err == nil {
+		t.Error("bad listen address must fail")
+	}
+	if _, err := start([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag must fail")
+	}
+}

@@ -1,0 +1,75 @@
+// Example serving: the planner as a service. Boots a sailor-serve-style
+// daemon in-process, connects two tenants over the wire, and shows plan →
+// replan → simulate round trips plus the service counters. Tenants share
+// one profiled system (same model and GPU set) but keep independent warm
+// caches, and every response is byte-identical to in-process planning.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := sailor.NewServer(lis, sailor.NewService(sailor.ServiceConfig{Workers: 2}))
+	go srv.Serve()
+	defer srv.Close()
+	fmt.Printf("daemon listening on %s (wire schema v%d)\n\n", srv.Addr(), sailor.WireVersion)
+
+	// The availability story: 16 A100s, then a preemption takes half.
+	zone := sailor.GCPZone("us-central1", 'a')
+	before := sailor.NewPool().Set(zone, sailor.A100, 16)
+	after := sailor.NewPool().Set(zone, sailor.A100, 8)
+
+	for _, tenant := range []string{"team-nlp", "team-vision"} {
+		c, err := sailor.Dial(srv.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.OpenJob(tenant, sailor.OPT350M(), []sailor.GPUType{sailor.A100}); err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Plan(context.Background(), tenant, before, sailor.MaxThroughput, sailor.Constraints{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s plan:   %s (%.3f iters/sec)\n", tenant, res.Plan, res.Estimate.Throughput())
+
+		re, err := c.Replan(context.Background(), tenant, res.Plan, after, sailor.MaxThroughput, sailor.Constraints{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s replan: %s (cache hits %d, explored %d)\n", tenant, re.Plan, re.CacheHits, re.Explored)
+
+		est, err := c.Simulate(tenant, re.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s simulate: %.3f s/iter, $%.3f/iter\n\n", tenant, est.IterTime, est.Cost())
+	}
+
+	c, err := sailor.Dial(srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service stats: %d requests (%.1f qps), %d plans, %d replans, %d simulates\n",
+		st.Requests, st.QPS, st.Plans, st.Replans, st.Simulates)
+	fmt.Printf("profiled systems: %d cached, %d hits, %d misses (tenants share shapes)\n",
+		st.SystemsCached, st.SystemCacheHits, st.SystemCacheMisses)
+}

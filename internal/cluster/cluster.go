@@ -120,6 +120,34 @@ func (p *Pool) GPUTypes() []core.GPUType {
 	return ts
 }
 
+// Entry is one (zone, GPU type, count) availability cell of a pool.
+type Entry struct {
+	Zone  core.Zone
+	GPU   core.GPUType
+	Count int
+}
+
+// Entries returns the pool's nonzero cells sorted by zone name then GPU
+// type — the deterministic iteration order codecs and fingerprints rely on.
+// Two pools with equal String() renderings have equal Entries.
+func (p *Pool) Entries() []Entry {
+	var out []Entry
+	for _, z := range p.Zones() {
+		m := p.counts[z]
+		ts := make([]core.GPUType, 0, len(m))
+		for g := range m {
+			if m[g] > 0 {
+				ts = append(ts, g)
+			}
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		for _, g := range ts {
+			out = append(out, Entry{Zone: z, GPU: g, Count: m[g]})
+		}
+	}
+	return out
+}
+
 // Clone returns a deep copy, used by the planner's DP recursion.
 func (p *Pool) Clone() *Pool {
 	q := NewPool()

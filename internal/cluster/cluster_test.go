@@ -128,3 +128,33 @@ func TestPoolString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+func TestEntriesDeterministicOrder(t *testing.T) {
+	p := NewPool().
+		Set(GCPZone("us-west1", 'b'), core.V100, 8).
+		Set(GCPZone("us-central1", 'a'), core.V100, 4).
+		Set(GCPZone("us-central1", 'a'), core.A100, 16).
+		Set(GCPZone("us-east1", 'c'), core.A100, 0) // zero cells are dropped
+	es := p.Entries()
+	want := []Entry{
+		{GCPZone("us-central1", 'a'), core.A100, 16},
+		{GCPZone("us-central1", 'a'), core.V100, 4},
+		{GCPZone("us-west1", 'b'), core.V100, 8},
+	}
+	if len(es) != len(want) {
+		t.Fatalf("Entries = %v, want %v", es, want)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Errorf("Entries[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+	// Rebuilding a pool from its entries preserves the canonical rendering.
+	q := NewPool()
+	for _, e := range es {
+		q.Set(e.Zone, e.GPU, e.Count)
+	}
+	if q.String() != p.String() {
+		t.Errorf("entry round trip changed the pool:\n%s\nvs\n%s", q, p)
+	}
+}

@@ -238,6 +238,20 @@ func (o Objective) String() string {
 	return fmt.Sprintf("Objective(%d)", int(o))
 }
 
+// ParseObjective is the inverse of Objective.String: it resolves the names
+// CLIs and wire messages carry ("max-throughput", "min-cost") back to the
+// typed objective.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case MaxThroughput.String():
+		return MaxThroughput, nil
+	case MinCost.String():
+		return MinCost, nil
+	}
+	return MaxThroughput, fmt.Errorf("core: unknown objective %q (want %q or %q)",
+		s, MaxThroughput, MinCost)
+}
+
 // Constraints bound the feasible plans. Zero values mean "unconstrained".
 type Constraints struct {
 	// MaxCostPerIter is a budget limit in USD per iteration (§4.2.3).

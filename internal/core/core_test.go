@@ -182,3 +182,15 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+func TestParseObjective(t *testing.T) {
+	for _, o := range []Objective{MaxThroughput, MinCost} {
+		got, err := ParseObjective(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseObjective(%q) = %v, %v; want %v", o, got, err, o)
+		}
+	}
+	if _, err := ParseObjective("fastest"); err == nil || !strings.Contains(err.Error(), "unknown objective") {
+		t.Errorf("ParseObjective of a bad name = %v, want unknown-objective error", err)
+	}
+}

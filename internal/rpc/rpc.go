@@ -3,6 +3,14 @@
 // (using grpc)"). Frames are length-prefixed JSON; each request carries an
 // id echoed by the response, so one connection multiplexes concurrent
 // calls. Stdlib only.
+//
+// Shutdown is graceful: Server.Close stops accepting, lets every in-flight
+// handler finish and flush its reply, answers requests that arrive during
+// the drain with ErrServerClosed, and only then tears connections down.
+// Client calls fail with typed errors — ErrClientClosed after a local
+// Close, ErrServerClosed when the server refused the request during
+// shutdown, ErrConnectionLost when the transport died mid-call — so
+// callers can distinguish "retry elsewhere" from "stop".
 package rpc
 
 import (
@@ -14,11 +22,34 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
+
+// Typed call-failure errors; match with errors.Is.
+var (
+	// ErrClientClosed is returned by Call after the client's own Close, and
+	// by calls pending when Close tears the connection down.
+	ErrClientClosed = errors.New("rpc: client closed")
+	// ErrServerClosed is returned for requests a shutting-down server
+	// refused to dispatch.
+	ErrServerClosed = errors.New("rpc: server closed")
+	// ErrConnectionLost is returned when the transport died under a call
+	// that had no reply yet, and by every call after that.
+	ErrConnectionLost = errors.New("rpc: connection lost")
+)
+
+// codeServerClosed marks a shutdown refusal on the wire so the client can
+// surface the typed ErrServerClosed rather than an opaque string.
+const codeServerClosed = "server-closed"
 
 // MaxFrame bounds a frame to keep a corrupt length prefix from allocating
 // unbounded memory.
 const MaxFrame = 64 << 20
+
+// drainTimeout bounds how long Close waits for in-flight replies to flush:
+// a client that stopped reading would otherwise block a reply write — and
+// with it the drain — forever. A var so tests can shorten it.
+var drainTimeout = 10 * time.Second
 
 // frame writes one length-prefixed JSON message.
 func writeFrame(w io.Writer, v any) error {
@@ -61,6 +92,8 @@ type envelope struct {
 	Method string          `json:"method,omitempty"`
 	Body   json.RawMessage `json:"body,omitempty"`
 	Err    string          `json:"err,omitempty"`
+	// Code tags machine-readable error classes (see codeServerClosed).
+	Code string `json:"code,omitempty"`
 }
 
 // Handler serves one method: it receives the raw request body and returns
@@ -73,8 +106,14 @@ type Server struct {
 	handlers map[string]Handler
 	conns    map[net.Conn]struct{}
 	lis      net.Listener
-	wg       sync.WaitGroup
+	connWG   sync.WaitGroup
 	closed   chan struct{}
+
+	// reqMu guards closing and admission into reqWG: once closing is set no
+	// new handler may start, so Close's reqWG.Wait() drains a fixed set.
+	reqMu   sync.Mutex
+	closing bool
+	reqWG   sync.WaitGroup
 }
 
 // NewServer returns a server that owns the listener.
@@ -114,15 +153,26 @@ func (s *Server) Serve() {
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		s.wg.Add(1)
+		s.connWG.Add(1)
 		go func() {
-			defer s.wg.Done()
+			defer s.connWG.Done()
 			s.serveConn(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
 		}()
 	}
+}
+
+// admit registers one in-flight request, unless the server is draining.
+func (s *Server) admit() bool {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.reqWG.Add(1)
+	return true
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -145,7 +195,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.RLock()
 		h := s.handlers[req.Method]
 		s.mu.RUnlock()
+		if !s.admit() {
+			// Shutting down: refuse instead of racing the drain, so the
+			// pending client call unblocks with a typed error.
+			reply(envelope{ID: req.ID, Err: ErrServerClosed.Error(), Code: codeServerClosed})
+			continue
+		}
 		go func(req envelope) {
+			defer s.reqWG.Done()
 			if h == nil {
 				reply(envelope{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)})
 				return
@@ -165,17 +222,39 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops accepting, tears down active connections, and waits for the
-// connection goroutines to drain. Pending calls on those connections fail.
+// Close stops accepting, drains in-flight handlers (their replies are
+// flushed to the still-open connections), then tears connections down and
+// waits for the connection goroutines. Requests arriving during the drain
+// fail fast with ErrServerClosed. Close is idempotent.
 func (s *Server) Close() {
+	s.reqMu.Lock()
+	if s.closing {
+		s.reqMu.Unlock()
+		return
+	}
+	s.closing = true
+	s.reqMu.Unlock()
+
 	close(s.closed)
 	s.lis.Close()
+	// Bound the drain: every in-flight reply must flush within drainTimeout
+	// or fail with a deadline error, so a stalled client (one that stopped
+	// reading, with a full TCP buffer) cannot wedge Close. All admitted
+	// handlers run on conns registered before closing was set, so this
+	// snapshot covers every write the drain waits on.
+	deadline := time.Now().Add(drainTimeout)
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetWriteDeadline(deadline)
+	}
+	s.mu.Unlock()
+	s.reqWG.Wait()
 	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	s.connWG.Wait()
 }
 
 // Addr returns the listener address.
@@ -208,18 +287,26 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// fail marks the client dead with a typed error (keeping the first cause)
+// and unblocks every pending call by closing its channel.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
 func (c *Client) readLoop() {
 	r := bufio.NewReader(c.conn)
 	for {
 		var env envelope
 		if err := readFrame(r, &env); err != nil {
-			c.mu.Lock()
-			c.err = fmt.Errorf("rpc: connection lost: %w", err)
-			for id, ch := range c.pending {
-				ch <- envelope{ID: id, Err: c.err.Error()}
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
+			c.fail(fmt.Errorf("%w: %v", ErrConnectionLost, err))
 			return
 		}
 		c.mu.Lock()
@@ -233,7 +320,9 @@ func (c *Client) readLoop() {
 }
 
 // Call invokes method with req, decoding the response into resp (which may
-// be nil for fire-and-check calls).
+// be nil for fire-and-check calls). After the transport dies or Close is
+// called, Call fails fast with the typed cause (ErrClientClosed,
+// ErrConnectionLost).
 func (c *Client) Call(method string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -260,12 +349,31 @@ func (c *Client) Call(method string, req, resp any) error {
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
+		typed := c.err
 		c.mu.Unlock()
+		if typed != nil {
+			// Close (or connection loss) raced the write; surface the typed
+			// cause rather than the raw closed-socket error.
+			return typed
+		}
 		return err
 	}
 
-	env := <-ch
+	env, ok := <-ch
+	if !ok {
+		// The connection died (or Close ran) before a reply arrived.
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrConnectionLost
+		}
+		return err
+	}
 	if env.Err != "" {
+		if env.Code == codeServerClosed {
+			return ErrServerClosed
+		}
 		return errors.New(env.Err)
 	}
 	if resp != nil {
@@ -274,5 +382,9 @@ func (c *Client) Call(method string, req, resp any) error {
 	return nil
 }
 
-// Close tears the connection down; pending calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears the connection down; pending and subsequent calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return c.conn.Close()
+}

@@ -2,11 +2,13 @@ package rpc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func startServer(t *testing.T) (*Server, string) {
@@ -106,7 +108,75 @@ func TestConcurrentCallsMultiplex(t *testing.T) {
 	}
 }
 
-func TestConnectionLossFailsPending(t *testing.T) {
+func TestGracefulCloseDrainsInFlight(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lis)
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	s.Handle("hang", func(json.RawMessage) (any, error) {
+		close(entered)
+		<-block
+		return nil, nil
+	})
+	go s.Serve()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Call("hang", nil, nil) }()
+	<-entered
+	// Graceful shutdown drains the in-flight handler: Close must not return
+	// while it is still blocked, and the pending call gets its real reply.
+	started := make(chan struct{})
+	closed := make(chan struct{})
+	go func() {
+		close(started)
+		s.Close()
+		close(closed)
+	}()
+	<-started
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a handler was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("drained call must receive its reply, got %v", err)
+	}
+	<-closed
+	// The drain's last act tears connections down: subsequent calls fail
+	// fast with the typed connection-loss error.
+	waitClientDead(t, c)
+	if err := c.Call("hang", nil, nil); !errors.Is(err, ErrConnectionLost) {
+		t.Fatalf("call after server shutdown = %v, want ErrConnectionLost", err)
+	}
+}
+
+// waitClientDead blocks until the client's read loop has observed the torn
+// connection (the tear-down is asynchronous from the client's view).
+func waitClientDead(t *testing.T, c *Client) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		dead := c.err != nil
+		c.mu.Unlock()
+		if dead {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("client never noticed the lost connection")
+}
+
+// TestCallAfterClientClose: the call-after-close regression — Close fails
+// pending calls and every later call with the typed ErrClientClosed.
+func TestCallAfterClientClose(t *testing.T) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -118,22 +188,121 @@ func TestConnectionLossFailsPending(t *testing.T) {
 		return nil, nil
 	})
 	go s.Serve()
+	defer s.Close()
+	// LIFO: the handler must unblock before Close starts its drain.
+	defer close(block)
 	c, err := Dial(lis.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- c.Call("hang", nil, nil) }()
-	// Kill the server while the call is in flight.
-	s.Close()
+	pending := make(chan error, 1)
+	go func() { pending <- c.Call("hang", nil, nil) }()
+	waitPending(t, c)
+	c.Close()
+	if err := <-pending; !errors.Is(err, ErrClientClosed) {
+		t.Errorf("pending call after Close = %v, want ErrClientClosed", err)
+	}
+	if err := c.Call("hang", nil, nil); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("call after Close = %v, want ErrClientClosed", err)
+	}
+}
+
+// waitPending blocks until the client has one registered in-flight call.
+func waitPending(t *testing.T, c *Client) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("call never became pending")
+}
+
+// TestRequestDuringDrainRefusedTyped: a request that reaches the server
+// after Close started (while an earlier handler is still draining) is
+// refused with ErrServerClosed instead of hanging or dying opaquely.
+func TestRequestDuringDrainRefusedTyped(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lis)
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	s.Handle("hang", func(json.RawMessage) (any, error) {
+		close(entered)
+		<-block
+		return "done", nil
+	})
+	go s.Serve()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	first := make(chan error, 1)
+	go func() { first <- c.Call("hang", nil, nil) }()
+	<-entered
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	// Wait for Close to flip the draining flag, then issue a second call on
+	// the still-open connection: it must be refused with the typed error.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s.reqMu.Lock()
+		closing := s.closing
+		s.reqMu.Unlock()
+		if closing {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second := make(chan error, 1)
+	go func() { second <- c.Call("hang", nil, nil) }()
+	if err := <-second; !errors.Is(err, ErrServerClosed) {
+		t.Errorf("call during drain = %v, want ErrServerClosed", err)
+	}
 	close(block)
-	if err := <-done; err == nil {
-		t.Fatal("pending call must fail on connection loss")
+	if err := <-first; err != nil {
+		t.Errorf("drained call = %v, want success", err)
 	}
-	// Subsequent calls fail fast.
-	if err := c.Call("hang", nil, nil); err == nil {
-		t.Fatal("calls on a dead client must fail")
+	<-closed
+}
+
+// TestAbruptConnectionLossFailsPending: a transport that dies without a
+// graceful shutdown fails pending calls with ErrConnectionLost.
+func TestAbruptConnectionLossFailsPending(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("anything", nil, nil); !errors.Is(err, ErrConnectionLost) {
+		t.Errorf("call on severed transport = %v, want ErrConnectionLost", err)
+	}
+}
+
+// TestServerCloseIdempotent: double Close must not panic or deadlock.
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := startServer(t)
+	s.Close()
+	s.Close()
 }
 
 func TestFrameLimit(t *testing.T) {
@@ -146,5 +315,52 @@ func TestFrameLimit(t *testing.T) {
 	big := strings.Repeat("x", MaxFrame+1)
 	if err := c.Call("echo", big, nil); err == nil {
 		t.Fatal("oversized frame must be rejected")
+	}
+}
+
+// TestCloseUnblocksStalledClientDrain: a client that sends a request and
+// then stops reading fills its TCP receive buffer, so the in-flight reply
+// write blocks. Close must still return — the drain is bounded by
+// drainTimeout, after which the stalled write fails and the handler's
+// reqWG slot frees.
+func TestCloseUnblocksStalledClientDrain(t *testing.T) {
+	old := drainTimeout
+	drainTimeout = 200 * time.Millisecond
+	defer func() { drainTimeout = old }()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lis)
+	// A reply far larger than any loopback socket buffer, so the write
+	// cannot complete until the client reads — which it never does.
+	big := strings.Repeat("x", 16<<20)
+	handlerDone := make(chan struct{})
+	s.Handle("big", func(json.RawMessage) (any, error) {
+		close(handlerDone)
+		return big, nil
+	})
+	go s.Serve()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, envelope{ID: 1, Method: "big"}); err != nil {
+		t.Fatal(err)
+	}
+	<-handlerDone // the reply write is in flight (and about to block)
+
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged on a client that stopped reading")
 	}
 }

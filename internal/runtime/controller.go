@@ -60,6 +60,16 @@ type Report struct {
 	PlanCacheHits int
 }
 
+// TotalDowntimeSeconds sums the downtime of every reconfiguration — the
+// headline number the replay ledgers (human and JSON) report.
+func (r Report) TotalDowntimeSeconds() float64 {
+	total := 0.0
+	for _, t := range r.Reconfigs {
+		total += t.Total()
+	}
+	return total
+}
+
 // Controller is the Sailor job controller: it owns the workers, watches
 // availability, re-invokes the planner on changes, and drives kill-free
 // reconfiguration (§4.4).

@@ -344,3 +344,16 @@ func TestWorkerLifecycle(t *testing.T) {
 	}
 	w.Shutdown()
 }
+
+func TestReportTotalDowntimeSeconds(t *testing.T) {
+	rep := Report{Reconfigs: []PhaseTimings{
+		{Planning: 1, Broadcast: 2},
+		{Cleanup: 0.5, CkptLoad: 1.5},
+	}}
+	if got, want := rep.TotalDowntimeSeconds(), 5.0; got != want {
+		t.Errorf("TotalDowntimeSeconds = %v, want %v", got, want)
+	}
+	if got := (Report{}).TotalDowntimeSeconds(); got != 0 {
+		t.Errorf("empty report downtime = %v, want 0", got)
+	}
+}

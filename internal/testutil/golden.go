@@ -1,0 +1,56 @@
+// Package testutil holds test-only helpers shared between packages —
+// currently the golden-file harness the CLI -json tests use. It is imported
+// only from _test.go files.
+package testutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Update rewrites golden files instead of comparing against them; wired to
+// the -update test flag of every binary that imports this package.
+var Update = flag.Bool("update", false, "rewrite golden files")
+
+// NormalizeJSON parses doc, applies zero to drop volatile (wall-clock)
+// fields, and re-renders it canonically for golden comparison.
+func NormalizeJSON(t *testing.T, doc []byte, zero func(map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(doc, &m); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, doc)
+	}
+	zero(m)
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// CheckGolden compares got against testdata/<name>, rewriting the file
+// when the -update flag is set.
+func CheckGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *Update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON shape drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,150 @@
+package wire
+
+// FuzzWireRoundTrip drives the codec with structured values synthesized
+// from the fuzzer's primitive inputs: decode(encode(x)) must reproduce x
+// for plans, constraints, and (canonically) pools, and envelopes carrying
+// any other schema version must be rejected with the unsupported-version
+// error. The seed corpus covers the shapes the planner actually emits —
+// single-stage, heterogeneous multi-replica, recompute — and the fuzzer
+// mutates dimensions, counts, and names from there.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(1, 1, 1, 1, "A100-40", "us-central1", 16, 0.0, 0.0, 0.0, false, Version)
+	f.Add(2, 4, 2, 12, "V100-16", "eu-west4", 8, 1.5, 0.05, 30.0, true, Version)
+	f.Add(4, 2, 8, 6, "H100-80", "onprem", 64, 0.0, 0.25, 0.0, false, Version+1)
+	f.Add(3, 1, 3, 5, "", "r", 1, -1.0, -2.0, -3.0, true, -7)
+
+	f.Fuzz(func(t *testing.T, pp, dp, tp, layersPerStage int, gpu, region string,
+		count int, budget, minTput, maxIter float64, recompute bool, version int) {
+		// JSON cannot carry invalid UTF-8 losslessly (the encoder substitutes
+		// U+FFFD), so the round-trip contract holds for valid-UTF-8 names.
+		gpu = strings.ToValidUTF8(gpu, "�")
+		region = strings.ToValidUTF8(region, "�")
+		plan := fuzzPlan(pp, dp, tp, layersPerStage, gpu, region, recompute)
+		data, err := MarshalPlan(plan)
+		if err != nil {
+			t.Fatalf("MarshalPlan(%+v): %v", plan, err)
+		}
+		back, err := UnmarshalPlan(data)
+		if err != nil {
+			t.Fatalf("UnmarshalPlan: %v\n%s", err, data)
+		}
+		if !reflect.DeepEqual(back, plan) {
+			t.Errorf("plan round trip:\n%+v\nvs\n%+v", back, plan)
+		}
+
+		cons := core.Constraints{MaxCostPerIter: budget, MinThroughput: minTput, MaxIterTime: maxIter}
+		if isFiniteConstraints(cons) {
+			data, err = MarshalConstraints(cons)
+			if err != nil {
+				t.Fatalf("MarshalConstraints: %v", err)
+			}
+			backC, err := UnmarshalConstraints(data)
+			if err != nil {
+				t.Fatalf("UnmarshalConstraints: %v", err)
+			}
+			if backC != cons {
+				t.Errorf("constraints round trip: %+v vs %+v", backC, cons)
+			}
+		}
+
+		pool := fuzzPool(gpu, region, count, dp)
+		data, err = MarshalPool(pool)
+		if err != nil {
+			t.Fatalf("MarshalPool: %v", err)
+		}
+		backP, err := UnmarshalPool(data)
+		if err != nil {
+			t.Fatalf("UnmarshalPool: %v", err)
+		}
+		if backP.String() != pool.String() {
+			t.Errorf("pool round trip:\n%svs\n%s", backP, pool)
+		}
+		again, err := MarshalPool(backP)
+		if err != nil {
+			t.Fatalf("re-MarshalPool: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Errorf("pool encoding not canonical:\n%s\nvs\n%s", again, data)
+		}
+
+		// Any other schema version must be rejected, loudly and by name.
+		if version != Version {
+			env := Envelope{V: version, Kind: KindPlan, Body: json.RawMessage(`{}`)}
+			bad, err := json.Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := UnmarshalPlan(bad); err == nil ||
+				!strings.Contains(err.Error(), "unsupported schema version") {
+				t.Errorf("version %d must be rejected, got %v", version, err)
+			}
+		}
+	})
+}
+
+// fuzzPlan builds a structurally bounded plan from raw fuzz inputs.
+func fuzzPlan(pp, dp, tp, layersPerStage int, gpu, region string, recompute bool) core.Plan {
+	pp = bound(pp, 1, 6)
+	dp = bound(dp, 1, 4)
+	tp = bound(tp, 1, 8)
+	layersPerStage = bound(layersPerStage, 1, 16)
+	plan := core.Plan{MicroBatchSize: bound(dp*tp, 1, 32), Recompute: recompute}
+	layer := 0
+	for s := 0; s < pp; s++ {
+		st := core.StagePlan{FirstLayer: layer, NumLayers: layersPerStage}
+		for r := 0; r < dp; r++ {
+			st.Replicas = append(st.Replicas, core.StageReplica{
+				GPU:  core.GPUType(gpu),
+				TP:   tp,
+				Zone: core.Zone{Region: region, Name: fmt.Sprintf("%s-%c", region, 'a'+byte(r%3))},
+			})
+		}
+		plan.Stages = append(plan.Stages, st)
+		layer += layersPerStage
+	}
+	return plan
+}
+
+// fuzzPool builds a pool with a couple of cells from raw fuzz inputs.
+func fuzzPool(gpu, region string, count, zones int) *cluster.Pool {
+	p := cluster.NewPool()
+	count = bound(count, 0, 1<<20)
+	for z := 0; z < bound(zones, 1, 4); z++ {
+		zone := core.Zone{Region: region, Name: fmt.Sprintf("%s-%c", region, 'a'+byte(z))}
+		p.Set(zone, core.GPUType(gpu), count+z)
+		p.Set(zone, core.V100, z) // zero-count first cell exercises dropping
+	}
+	return p
+}
+
+func bound(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func isFiniteConstraints(c core.Constraints) bool {
+	for _, f := range []float64{c.MaxCostPerIter, c.MinThroughput, c.MaxIterTime} {
+		if f != f || f > 1e308 || f < -1e308 {
+			return false
+		}
+	}
+	return true
+}

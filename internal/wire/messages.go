@@ -1,0 +1,119 @@
+package wire
+
+// Request/response messages of the sailor.Service front door. Each message
+// is one rpc frame body; the V tag is checked on both ends so a client and
+// daemon from different schema generations fail loudly instead of
+// misreading each other.
+
+// Method names the service registers on the rpc layer.
+const (
+	MethodOpenJob  = "sailor.open-job"
+	MethodPlan     = "sailor.plan"
+	MethodReplan   = "sailor.replan"
+	MethodSimulate = "sailor.simulate"
+	MethodCloseJob = "sailor.close-job"
+	MethodStats    = "sailor.stats"
+)
+
+// OpenJobRequest registers a named job: the model to profile and the GPU
+// types its pools may contain. Tenants opening jobs with the same (model,
+// GPU set, seed) shape share one profiled system behind the scenes.
+type OpenJobRequest struct {
+	V     int      `json:"v"`
+	Job   string   `json:"job"`
+	Model Model    `json:"model"`
+	GPUs  []string `json:"gpus"`
+}
+
+// OpenJobResponse acknowledges an OpenJobRequest.
+type OpenJobResponse struct {
+	V int `json:"v"`
+}
+
+// PlanRequest asks for a cold plan of a pool for an open job.
+type PlanRequest struct {
+	V           int         `json:"v"`
+	Job         string      `json:"job"`
+	Pool        Pool        `json:"pool"`
+	Objective   string      `json:"objective"`
+	Constraints Constraints `json:"constraints"`
+}
+
+// PlanResponse carries the planner result back; it answers both
+// PlanRequest and ReplanRequest.
+type PlanResponse struct {
+	V      int        `json:"v"`
+	Result PlanResult `json:"result"`
+}
+
+// ReplanRequest asks for a warm replan: plan Pool starting from the
+// previously deployed Prev, against the job's persistent warm cache.
+type ReplanRequest struct {
+	V           int         `json:"v"`
+	Job         string      `json:"job"`
+	Prev        Plan        `json:"prev"`
+	Pool        Pool        `json:"pool"`
+	Objective   string      `json:"objective"`
+	Constraints Constraints `json:"constraints"`
+}
+
+// SimulateRequest asks for an analytical evaluation of a plan.
+type SimulateRequest struct {
+	V    int    `json:"v"`
+	Job  string `json:"job"`
+	Plan Plan   `json:"plan"`
+}
+
+// SimulateResponse carries the simulator estimate back.
+type SimulateResponse struct {
+	V        int      `json:"v"`
+	Estimate Estimate `json:"estimate"`
+}
+
+// CloseJobRequest releases a named job (its shared profiled system stays
+// cached for future tenants).
+type CloseJobRequest struct {
+	V   int    `json:"v"`
+	Job string `json:"job"`
+}
+
+// CloseJobResponse acknowledges a CloseJobRequest.
+type CloseJobResponse struct {
+	V int `json:"v"`
+}
+
+// StatsRequest asks for a service counter snapshot.
+type StatsRequest struct {
+	V int `json:"v"`
+}
+
+// StatsResponse carries the snapshot back.
+type StatsResponse struct {
+	V     int          `json:"v"`
+	Stats ServiceStats `json:"stats"`
+}
+
+// ServiceStats is a point-in-time snapshot of the service's counters.
+type ServiceStats struct {
+	// UptimeSeconds is the wall-clock age of the service.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts every front-door call (plans, replans, simulates).
+	Requests uint64 `json:"requests"`
+	// QPS is Requests averaged over the uptime.
+	QPS float64 `json:"qps"`
+	// Plans/Replans/Simulates split Requests by operation.
+	Plans     uint64 `json:"plans"`
+	Replans   uint64 `json:"replans"`
+	Simulates uint64 `json:"simulates"`
+	// Errors counts requests that returned an error.
+	Errors uint64 `json:"errors"`
+	// InFlight is the number of requests currently executing.
+	InFlight int64 `json:"in_flight"`
+	// JobsOpen is the number of currently open jobs.
+	JobsOpen int `json:"jobs_open"`
+	// SystemsCached is the profiled-system LRU's current size;
+	// SystemCacheHits/Misses count OpenJob lookups that reused or built one.
+	SystemsCached     int    `json:"systems_cached"`
+	SystemCacheHits   uint64 `json:"system_cache_hits"`
+	SystemCacheMisses uint64 `json:"system_cache_misses"`
+}

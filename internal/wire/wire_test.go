@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/runtime"
+)
+
+func zone(r, n string) core.Zone { return core.Zone{Region: r, Name: n} }
+
+func samplePlan() core.Plan {
+	za := zone("us-central1", "us-central1-a")
+	zb := zone("us-east1", "us-east1-b")
+	return core.Plan{
+		MicroBatchSize: 2,
+		Recompute:      true,
+		Stages: []core.StagePlan{
+			{FirstLayer: 0, NumLayers: 12, Replicas: []core.StageReplica{
+				{GPU: core.A100, TP: 4, Zone: za},
+				{GPU: core.V100, TP: 2, Zone: za},
+			}},
+			{FirstLayer: 12, NumLayers: 12, Replicas: []core.StageReplica{
+				{GPU: core.A100, TP: 2, Zone: zb},
+				{GPU: core.A100, TP: 2, Zone: zb},
+			}},
+		},
+	}
+}
+
+func samplePool() *cluster.Pool {
+	return cluster.NewPool().
+		Set(zone("us-central1", "us-central1-a"), core.A100, 16).
+		Set(zone("us-central1", "us-central1-a"), core.V100, 8).
+		Set(zone("us-east1", "us-east1-b"), core.A100, 4)
+}
+
+func sampleEstimate() core.Estimate {
+	return core.Estimate{
+		IterTime: 1.5, ComputeCost: 0.25, EgressCost: 0.03,
+		PeakMemory: 17 << 30, PeakMemoryGPU: core.A100, FitsMemory: true,
+		StageTimes: []float64{0.7, 0.8}, StragglerStage: 1,
+	}
+}
+
+func sampleResult() planner.Result {
+	return planner.Result{
+		Plan: samplePlan(), Estimate: sampleEstimate(),
+		SearchTime: 1234 * time.Microsecond,
+		Explored:   4217, OOMPlansEmitted: 1, WarmStart: true, CacheHits: 99,
+	}
+}
+
+func sampleReport() runtime.Report {
+	return runtime.Report{
+		IterationsDone: 120, VirtualSeconds: 7200, LostIterations: 4,
+		CheckpointsTaken: 23, PlanningSeconds: 0.25, PlanCacheHits: 57,
+		Reconfigs: []runtime.PhaseTimings{
+			{Planning: 0.1, Broadcast: 1.0, PlanExplored: 300},
+			{Planning: 0.15, Cleanup: 0.2, GroupInit: 1.1, ModelRedef: 0.4,
+				Dataloader: 0.3, CkptLoad: 1.2, RolledBackIters: 4,
+				PlanCacheHits: 57, PlanExplored: 40},
+		},
+		PlansUsed: []core.Plan{samplePlan(), samplePlan()},
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	in := model.GPTNeo27B()
+	data, err := MarshalModel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed model: %+v vs %+v", out, in)
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	in := samplePlan()
+	data, err := MarshalPlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("round trip changed plan:\n%+v\nvs\n%+v", out, in)
+	}
+	// The zero plan round-trips too (empty replans carry it).
+	data, err = MarshalPlan(core.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, core.Plan{}) {
+		t.Errorf("zero plan round trip = %+v", out)
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	in := samplePool()
+	data, err := MarshalPool(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalPool(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != in.String() {
+		t.Errorf("round trip changed pool:\n%svs\n%s", out, in)
+	}
+	// Canonical form: re-encoding the decoded pool is byte-identical.
+	again, err := MarshalPool(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Errorf("pool encoding not canonical:\n%s\nvs\n%s", again, data)
+	}
+}
+
+func TestConstraintsRoundTrip(t *testing.T) {
+	in := core.Constraints{MaxCostPerIter: 1.25, MinThroughput: 0.05, MaxIterTime: 30}
+	data, err := MarshalConstraints(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalConstraints(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed constraints: %+v vs %+v", out, in)
+	}
+}
+
+func TestEstimateRoundTrip(t *testing.T) {
+	in := sampleEstimate()
+	data, err := MarshalEstimate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalEstimate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("round trip changed estimate:\n%+v\nvs\n%+v", out, in)
+	}
+}
+
+func TestPlanResultRoundTrip(t *testing.T) {
+	in := sampleResult()
+	data, err := MarshalPlanResult(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalPlanResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("round trip changed result:\n%+v\nvs\n%+v", out, in)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	in := sampleReport()
+	data, err := MarshalReport(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("round trip changed report:\n%+v\nvs\n%+v", out, in)
+	}
+}
+
+// TestDeterministicEncoding: structurally equal values marshal to identical
+// bytes — the property the service determinism tests and the CLI golden
+// files build on.
+func TestDeterministicEncoding(t *testing.T) {
+	a, err := MarshalPlanResult(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalPlanResult(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("equal results marshalled differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestUnknownVersionRejected(t *testing.T) {
+	data, err := MarshalPlan(samplePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.V = Version + 1
+	bad, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPlan(bad); err == nil || !strings.Contains(err.Error(), "unsupported schema version") {
+		t.Errorf("future version must be rejected with a clear error, got %v", err)
+	}
+	if err := Check(Version); err != nil {
+		t.Errorf("Check(Version) = %v", err)
+	}
+	if err := Check(0); err == nil {
+		t.Error("Check(0) must fail")
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	data, err := MarshalPool(samplePool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalPlan(data); err == nil || !strings.Contains(err.Error(), `kind "pool"`) {
+		t.Errorf("kind mismatch must be rejected, got %v", err)
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	if _, err := UnmarshalPlan([]byte("not json")); err == nil {
+		t.Error("garbage must not decode")
+	}
+	if _, err := UnmarshalReport([]byte(`{"v":1,"kind":"report","body":"nope"}`)); err == nil {
+		t.Error("mistyped body must not decode")
+	}
+}

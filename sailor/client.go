@@ -1,0 +1,132 @@
+package sailor
+
+// Client is the wire-side implementation of API: it speaks the versioned
+// request/response messages of internal/wire over the internal/rpc framing
+// to a sailor-serve daemon (or any Server). One Client multiplexes
+// concurrent calls over a single connection.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Client drives a remote Service. Create one with Dial; Close releases the
+// connection.
+type Client struct {
+	rpc *rpc.Client
+}
+
+var _ API = (*Client)(nil)
+
+// Dial connects to a sailor-serve daemon at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("sailor: dial %s: %w", addr, err)
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// OpenJob implements API over the wire.
+func (c *Client) OpenJob(job string, m Model, gpus []GPUType) error {
+	names := make([]string, len(gpus))
+	for i, g := range gpus {
+		names[i] = string(g)
+	}
+	req := wire.OpenJobRequest{V: wire.Version, Job: job, Model: wire.FromModel(m), GPUs: names}
+	var resp wire.OpenJobResponse
+	if err := c.rpc.Call(wire.MethodOpenJob, req, &resp); err != nil {
+		return err
+	}
+	return wire.Check(resp.V)
+}
+
+// Plan implements API over the wire. The context gates only the local
+// send: cancellation is not yet propagated to the daemon's search.
+func (c *Client) Plan(ctx context.Context, job string, pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	if err := ctx.Err(); err != nil {
+		return PlanResult{}, err
+	}
+	req := wire.PlanRequest{
+		V: wire.Version, Job: job,
+		Pool:        wire.FromPool(pool),
+		Objective:   obj.String(),
+		Constraints: wire.FromConstraints(cons),
+	}
+	var resp wire.PlanResponse
+	if err := c.rpc.Call(wire.MethodPlan, req, &resp); err != nil {
+		return PlanResult{}, err
+	}
+	if err := wire.Check(resp.V); err != nil {
+		return PlanResult{}, err
+	}
+	return resp.Result.Result(), nil
+}
+
+// Replan implements API over the wire; see Plan for context semantics.
+func (c *Client) Replan(ctx context.Context, job string, prev Plan, pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
+	if err := ctx.Err(); err != nil {
+		return PlanResult{}, err
+	}
+	req := wire.ReplanRequest{
+		V: wire.Version, Job: job,
+		Prev:        wire.FromPlan(prev),
+		Pool:        wire.FromPool(pool),
+		Objective:   obj.String(),
+		Constraints: wire.FromConstraints(cons),
+	}
+	var resp wire.PlanResponse
+	if err := c.rpc.Call(wire.MethodReplan, req, &resp); err != nil {
+		return PlanResult{}, err
+	}
+	if err := wire.Check(resp.V); err != nil {
+		return PlanResult{}, err
+	}
+	return resp.Result.Result(), nil
+}
+
+// Simulate implements API over the wire.
+func (c *Client) Simulate(job string, plan Plan) (Estimate, error) {
+	req := wire.SimulateRequest{V: wire.Version, Job: job, Plan: wire.FromPlan(plan)}
+	var resp wire.SimulateResponse
+	if err := c.rpc.Call(wire.MethodSimulate, req, &resp); err != nil {
+		return Estimate{}, err
+	}
+	if err := wire.Check(resp.V); err != nil {
+		return Estimate{}, err
+	}
+	return resp.Estimate.Core(), nil
+}
+
+// CloseJob implements API over the wire.
+func (c *Client) CloseJob(job string) error {
+	req := wire.CloseJobRequest{V: wire.Version, Job: job}
+	var resp wire.CloseJobResponse
+	if err := c.rpc.Call(wire.MethodCloseJob, req, &resp); err != nil {
+		return err
+	}
+	return wire.Check(resp.V)
+}
+
+// Stats implements API over the wire.
+func (c *Client) Stats() (ServiceStats, error) {
+	var resp wire.StatsResponse
+	if err := c.rpc.Call(wire.MethodStats, wire.StatsRequest{V: wire.Version}, &resp); err != nil {
+		return ServiceStats{}, err
+	}
+	if err := wire.Check(resp.V); err != nil {
+		return ServiceStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// ParseObjective resolves an objective name ("max-throughput", "min-cost")
+// to the typed Objective — the names CLIs and wire messages carry.
+func ParseObjective(s string) (Objective, error) { return core.ParseObjective(s) }

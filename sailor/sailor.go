@@ -2,7 +2,32 @@
 // automating distributed training over dynamic, heterogeneous, and
 // geo-distributed clusters (SOSP'25).
 //
-// The workflow mirrors the paper's Figure 4:
+// The primary entry point is Service, the planner as a multi-tenant
+// request/response front door — the paper's long-lived control plane
+// (§5.5) that plans and replans many jobs as availability shifts:
+//
+//	svc := sailor.NewService(sailor.ServiceConfig{})
+//	svc.OpenJob("tenant-1", sailor.OPT350M(), []sailor.GPUType{sailor.A100})
+//	res, _ := svc.Plan(ctx, "tenant-1", pool, sailor.MaxThroughput, sailor.Constraints{})
+//	res2, _ := svc.Replan(ctx, "tenant-1", res.Plan, shrunkPool, sailor.MaxThroughput, sailor.Constraints{})
+//	est, _ := svc.Simulate("tenant-1", res2.Plan)
+//	svc.CloseJob("tenant-1")
+//
+// Tenants whose jobs share a (model, GPU set, seed) shape reuse one
+// profiled System behind the front door; each job keeps a private
+// warm-start cache for replan continuity; planner concurrency is bounded
+// across tenants; and Stats snapshots QPS, cache utilisation, and
+// in-flight counts. The same surface crosses a wire: cmd/sailor-serve
+// hosts a Service over the internal/rpc framing, Dial returns a Client
+// implementing the identical API interface, and every message is a
+// versioned internal/wire document. The determinism contract holds on
+// both paths — a plan or replan obtained through the service is
+// byte-identical (wire-encoded, telemetry included; SearchTime is the one
+// wall-clock exception) to System.Plan/System.Replan on the same request
+// history, at any worker count.
+//
+// Underneath, System is the single-job library workflow mirroring the
+// paper's Figure 4:
 //
 //	sys, _ := sailor.New(sailor.OPT350M(), []sailor.GPUType{sailor.A100, sailor.V100})
 //	pool := sailor.NewPool().Set(sailor.GCPZone("us-central1", 'a'), sailor.A100, 16)

@@ -1,0 +1,149 @@
+package sailor
+
+// Server hosts a Service over the internal/rpc length-prefixed-JSON
+// framing — the transport cmd/sailor-serve exposes and Client speaks. Every
+// method body is a versioned wire message; version mismatches are refused
+// before any work happens.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Server exposes a Service on a listener.
+type Server struct {
+	svc *Service
+	rpc *rpc.Server
+}
+
+// NewServer wraps a Service in an rpc dispatcher owning the listener.
+// Call Serve to start accepting and Close to shut down gracefully
+// (in-flight requests drain; queued client calls fail with a typed error).
+func NewServer(lis net.Listener, svc *Service) *Server {
+	s := &Server{svc: svc, rpc: rpc.NewServer(lis)}
+	s.rpc.Handle(wire.MethodOpenJob, s.openJob)
+	s.rpc.Handle(wire.MethodPlan, s.plan)
+	s.rpc.Handle(wire.MethodReplan, s.replan)
+	s.rpc.Handle(wire.MethodSimulate, s.simulate)
+	s.rpc.Handle(wire.MethodCloseJob, s.closeJob)
+	s.rpc.Handle(wire.MethodStats, s.stats)
+	return s
+}
+
+// Serve accepts connections until Close; it returns after the listener
+// closes.
+func (s *Server) Serve() { s.rpc.Serve() }
+
+// Close drains in-flight requests and tears the listener down.
+func (s *Server) Close() { s.rpc.Close() }
+
+// Addr returns the listen address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.rpc.Addr() }
+
+// Service returns the hosted service (for stats or in-process calls).
+func (s *Server) Service() *Service { return s.svc }
+
+func (s *Server) openJob(body json.RawMessage) (any, error) {
+	var req wire.OpenJobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	gpus := make([]GPUType, len(req.GPUs))
+	for i, g := range req.GPUs {
+		gpus[i] = GPUType(g)
+	}
+	if err := s.svc.OpenJob(req.Job, req.Model.Config(), gpus); err != nil {
+		return nil, err
+	}
+	return wire.OpenJobResponse{V: wire.Version}, nil
+}
+
+func (s *Server) plan(body json.RawMessage) (any, error) {
+	var req wire.PlanRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	obj, err := core.ParseObjective(req.Objective)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.svc.Plan(context.Background(), req.Job, req.Pool.Cluster(), obj, req.Constraints.Core())
+	if err != nil {
+		return nil, err
+	}
+	return wire.PlanResponse{V: wire.Version, Result: wire.FromResult(res)}, nil
+}
+
+func (s *Server) replan(body json.RawMessage) (any, error) {
+	var req wire.ReplanRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	obj, err := core.ParseObjective(req.Objective)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.svc.Replan(context.Background(), req.Job, req.Prev.Core(), req.Pool.Cluster(), obj, req.Constraints.Core())
+	if err != nil {
+		return nil, err
+	}
+	return wire.PlanResponse{V: wire.Version, Result: wire.FromResult(res)}, nil
+}
+
+func (s *Server) simulate(body json.RawMessage) (any, error) {
+	var req wire.SimulateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	est, err := s.svc.Simulate(req.Job, req.Plan.Core())
+	if err != nil {
+		return nil, err
+	}
+	return wire.SimulateResponse{V: wire.Version, Estimate: wire.FromEstimate(est)}, nil
+}
+
+func (s *Server) closeJob(body json.RawMessage) (any, error) {
+	var req wire.CloseJobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	if err := s.svc.CloseJob(req.Job); err != nil {
+		return nil, err
+	}
+	return wire.CloseJobResponse{V: wire.Version}, nil
+}
+
+func (s *Server) stats(body json.RawMessage) (any, error) {
+	var req wire.StatsRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	st, err := s.svc.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return wire.StatsResponse{V: wire.Version, Stats: st}, nil
+}

@@ -1,0 +1,192 @@
+package sailor
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// startTestServer hosts a fresh Service on a loopback listener.
+func startTestServer(t *testing.T, cfg ServiceConfig) (*Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis, NewService(cfg))
+	go srv.Serve()
+	t.Cleanup(srv.Close)
+	return srv, lis.Addr().String()
+}
+
+// TestWireDeterminism is the acceptance test of the determinism contract:
+// plan and replan responses served over the wire are byte-identical (on
+// the wire codec, SearchTime zeroed) to in-process System.Plan and
+// System.Replan for the same request history — including the Explored and
+// CacheHits telemetry — at more than one worker count.
+func TestWireDeterminism(t *testing.T) {
+	pools := replayPools(t, "preemption-storm", 1, 5)
+	for _, workers := range []int{1, 8} {
+		_, addr := startTestServer(t, ServiceConfig{Workers: workers})
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.OpenJob("tenant", OPT350M(), []GPUType{A100}); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := New(OPT350M(), []GPUType{A100}, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Cold plan.
+		remote, err := c.Plan(context.Background(), "tenant", pools[0], MaxThroughput, Constraints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := sys.Plan(pools[0], MaxThroughput, Constraints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := canonicalResult(t, remote), canonicalResult(t, local); a != b {
+			t.Errorf("workers=%d: wire plan != in-process plan:\n%s\nvs\n%s", workers, a, b)
+		}
+
+		// Warm replan chain: the wire responses must track System.Replan's
+		// trajectory exactly, cache-hit telemetry included.
+		var prevRemote, prevLocal Plan
+		prevRemote, prevLocal = remote.Plan, local.Plan
+		for i, pool := range pools[1:] {
+			remote, err := c.Replan(context.Background(), "tenant", prevRemote, pool, MaxThroughput, Constraints{})
+			if err != nil {
+				t.Fatalf("workers=%d replan %d: %v", workers, i, err)
+			}
+			local, err := sys.Replan(prevLocal, pool, MaxThroughput, Constraints{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := canonicalResult(t, remote), canonicalResult(t, local); a != b {
+				t.Errorf("workers=%d replan %d: wire != in-process:\n%s\nvs\n%s", workers, i, a, b)
+			}
+			prevRemote, prevLocal = remote.Plan, local.Plan
+		}
+
+		// Simulate crosses the wire losslessly too.
+		remoteEst, err := c.Simulate("tenant", prevRemote)
+		if err != nil {
+			t.Fatal(err)
+		}
+		localEst, err := sys.Simulate(prevLocal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remoteEst.IterTime != localEst.IterTime || remoteEst.PeakMemory != localEst.PeakMemory {
+			t.Errorf("workers=%d: wire estimate diverged: %+v vs %+v", workers, remoteEst, localEst)
+		}
+		if err := c.CloseJob("tenant"); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+// TestWireConcurrentTenants: several clients of one daemon plan and replan
+// concurrently (race-detector coverage for the full wire stack) and each
+// gets the deterministic reference answer.
+func TestWireConcurrentTenants(t *testing.T) {
+	pools := replayPools(t, "preemption-storm", 3, 3)
+	_, addr := startTestServer(t, ServiceConfig{Workers: 1, MaxConcurrent: 4})
+	sys, err := New(OPT350M(), []GPUType{A100}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := make([]string, len(pools))
+	for i, p := range pools {
+		res, err := sys.Plan(p, MaxThroughput, Constraints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[i] = res.Plan.String()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			job := string(rune('a' + g))
+			if err := c.OpenJob(job, OPT350M(), []GPUType{A100}); err != nil {
+				t.Error(err)
+				return
+			}
+			var prev Plan
+			for i, pool := range pools {
+				res, err := c.Replan(context.Background(), job, prev, pool, MaxThroughput, Constraints{})
+				if err != nil {
+					t.Errorf("tenant %s pool %d: %v", job, i, err)
+					return
+				}
+				if res.Plan.String() != cold[i] {
+					t.Errorf("tenant %s pool %d: plan diverged", job, i)
+				}
+				prev = res.Plan
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replans != uint64(3*len(pools)) {
+		t.Errorf("Replans = %d, want %d", st.Replans, 3*len(pools))
+	}
+	if st.JobsOpen != 3 {
+		t.Errorf("JobsOpen = %d, want 3", st.JobsOpen)
+	}
+}
+
+// TestWireErrors: daemon-side failures surface as errors on the client,
+// and a closed daemon yields the rpc layer's typed errors.
+func TestWireErrors(t *testing.T) {
+	srv, addr := startTestServer(t, ServiceConfig{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Plan(context.Background(), "ghost", NewPool(), MaxThroughput, Constraints{}); err == nil {
+		t.Error("planning an unopened job must fail across the wire")
+	}
+	if err := c.OpenJob("", OPT350M(), []GPUType{A100}); err == nil {
+		t.Error("empty job name must fail across the wire")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Plan(ctx, "x", NewPool(), MaxThroughput, Constraints{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx = %v, want context.Canceled", err)
+	}
+	srv.Close()
+	if _, err := c.Stats(); err == nil {
+		t.Error("stats after server close must fail")
+	} else if !errors.Is(err, rpc.ErrConnectionLost) && !errors.Is(err, rpc.ErrServerClosed) {
+		t.Errorf("post-close error = %v, want a typed rpc error", err)
+	}
+}

@@ -1,0 +1,339 @@
+package sailor
+
+// Service is the multi-tenant front door of the planner: the paper's
+// long-lived control plane (§5.5) that plans and replans many jobs as
+// availability shifts, reshaped as a request/response API that can cross a
+// wire. Tenants open named jobs, plan/replan/simulate against them, and
+// close them; behind the front door the service shares profiled Systems
+// between jobs with the same shape, keeps one WarmCache per job for replan
+// continuity, and bounds how many planner searches run at once across all
+// tenants.
+//
+// Determinism contract: a Plan or Replan answered by a Service (in-process
+// or through sailor-serve) is byte-identical on the wire codec — plan,
+// estimate, Explored, CacheHits, WarmStart — to what System.Plan or
+// System.Replan returns for the same request history, at any worker count.
+// Only the wall-clock SearchTime field differs between runs.
+
+import (
+	"context"
+	"fmt"
+	goruntime "runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/planner"
+	"repro/internal/wire"
+)
+
+// WireVersion is the serving API's schema version: every request and
+// response message carries it, and mismatched generations refuse each
+// other loudly (see internal/wire).
+const WireVersion = wire.Version
+
+// ServiceStats is a point-in-time snapshot of a Service's counters.
+type ServiceStats = wire.ServiceStats
+
+// ServiceConfig tunes a Service. The zero value is a working default.
+type ServiceConfig struct {
+	// Workers is the planner search parallelism of every job's searches
+	// (0 = runtime.NumCPU()). Plans are identical at any setting.
+	Workers int
+	// MaxConcurrent bounds how many planner searches (plans + replans) run
+	// at once across all tenants; excess requests queue (0 = NumCPU).
+	MaxConcurrent int
+	// SystemCacheSize caps the LRU of profiled Systems shared between jobs
+	// with the same (model, GPU set, seed) shape (0 = 16).
+	SystemCacheSize int
+	// Seed fixes the profiling/ground-truth seed of every System the
+	// service builds (0 = 1, the sailor.New default).
+	Seed uint64
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = goruntime.NumCPU()
+	}
+	if c.SystemCacheSize <= 0 {
+		c.SystemCacheSize = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// API is the request/response surface the in-process Service and the wire
+// Client share, so CLIs and embedders drive either interchangeably.
+type API interface {
+	// OpenJob registers a named job: the model to plan for and the GPU
+	// types its pools may contain.
+	OpenJob(job string, m Model, gpus []GPUType) error
+	// Plan searches cold for a plan of pool under the objective and
+	// constraints.
+	Plan(ctx context.Context, job string, pool *Pool, obj Objective, cons Constraints) (PlanResult, error)
+	// Replan warm-starts from the job's previously deployed plan and its
+	// persistent warm cache.
+	Replan(ctx context.Context, job string, prev Plan, pool *Pool, obj Objective, cons Constraints) (PlanResult, error)
+	// Simulate evaluates a plan with the job's analytical simulator.
+	Simulate(job string, plan Plan) (Estimate, error)
+	// CloseJob releases a job; its shared profiled System stays cached.
+	CloseJob(job string) error
+	// Stats snapshots the service counters.
+	Stats() (ServiceStats, error)
+}
+
+// Service implements API in-process. It is safe for concurrent use by any
+// number of tenants.
+type Service struct {
+	cfg   ServiceConfig
+	start time.Time
+	sem   chan struct{}
+
+	mu      sync.Mutex
+	jobs    map[string]*serviceJob
+	systems *systemLRU
+
+	requests  atomic.Uint64
+	plans     atomic.Uint64
+	replans   atomic.Uint64
+	simulates atomic.Uint64
+	errors    atomic.Uint64
+	inflight  atomic.Int64
+	sysHits   atomic.Uint64
+	sysMisses atomic.Uint64
+}
+
+var _ API = (*Service)(nil)
+
+// serviceJob is one tenant's named job: a (possibly shared) profiled
+// System plus the job's private warm-start cache, so replan continuity
+// never leaks between tenants that share a System.
+type serviceJob struct {
+	sys  *System
+	warm *planner.WarmCache
+}
+
+// NewService returns an empty multi-tenant planning service.
+func NewService(cfg ServiceConfig) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		jobs:    map[string]*serviceJob{},
+		systems: newSystemLRU(cfg.SystemCacheSize),
+	}
+}
+
+// systemKey identifies a profiled System shape: model, GPU set (order
+// insensitive — profiles are per-type), and seed.
+func (s *Service) systemKey(m Model, gpus []GPUType) string {
+	names := make([]string, len(gpus))
+	for i, g := range gpus {
+		names[i] = string(g)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%+v|%s|seed%d|w%d", m, strings.Join(names, ","), s.cfg.Seed, s.cfg.Workers)
+}
+
+// OpenJob registers a named job. Jobs with the same (model, GPU set, seed)
+// shape share one profiled System — the profiling campaign runs once per
+// shape, not once per tenant — while each job gets its own WarmCache.
+func (s *Service) OpenJob(job string, m Model, gpus []GPUType) error {
+	if job == "" {
+		return fmt.Errorf("sailor: empty job name")
+	}
+	if len(gpus) == 0 {
+		return fmt.Errorf("sailor: job %q lists no GPU types", job)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[job]; ok {
+		return fmt.Errorf("sailor: job %q already open", job)
+	}
+	key := s.systemKey(m, gpus)
+	sys, ok := s.systems.get(key)
+	if ok {
+		s.sysHits.Add(1)
+	} else {
+		s.sysMisses.Add(1)
+		var err error
+		sys, err = New(m, gpus, WithSeed(s.cfg.Seed), WithWorkers(s.cfg.Workers))
+		if err != nil {
+			return fmt.Errorf("sailor: open job %q: %w", job, err)
+		}
+		s.systems.put(key, sys)
+	}
+	s.jobs[job] = &serviceJob{sys: sys, warm: planner.NewWarmCache()}
+	return nil
+}
+
+// CloseJob releases a named job. The job's shared System stays in the LRU
+// for future tenants; its warm cache is dropped.
+func (s *Service) CloseJob(job string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[job]; !ok {
+		return fmt.Errorf("sailor: job %q not open", job)
+	}
+	delete(s.jobs, job)
+	return nil
+}
+
+func (s *Service) job(name string) (*serviceJob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[name]
+	if !ok {
+		return nil, fmt.Errorf("sailor: job %q not open (OpenJob first)", name)
+	}
+	return j, nil
+}
+
+// begin books a request of one class; the returned func ends it.
+func (s *Service) begin(class *atomic.Uint64) func(err error) {
+	s.requests.Add(1)
+	class.Add(1)
+	s.inflight.Add(1)
+	return func(err error) {
+		if err != nil {
+			s.errors.Add(1)
+		}
+		s.inflight.Add(-1)
+	}
+}
+
+// acquire takes a planner-concurrency slot, honoring ctx while queued.
+func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sailor: queued request cancelled: %w", ctx.Err())
+	}
+}
+
+// Plan implements API: a cold planner search, identical to System.Plan on
+// the same inputs.
+func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objective, cons Constraints) (res PlanResult, err error) {
+	done := s.begin(&s.plans)
+	defer func() { done(err) }()
+	j, err := s.job(job)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	if err := s.acquire(ctx); err != nil {
+		return PlanResult{}, err
+	}
+	defer func() { <-s.sem }()
+	sys := j.sys
+	pl := planner.New(sys.Model, sys.simulator, sys.plannerOpts(obj, cons, sys.workerCount()))
+	return pl.PlanContext(ctx, pool)
+}
+
+// Replan implements API: a warm replan against the job's private cache,
+// identical to System.Replan given the same request history.
+func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool, obj Objective, cons Constraints) (res PlanResult, err error) {
+	done := s.begin(&s.replans)
+	defer func() { done(err) }()
+	j, err := s.job(job)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	if err := s.acquire(ctx); err != nil {
+		return PlanResult{}, err
+	}
+	defer func() { <-s.sem }()
+	sys := j.sys
+	opts := sys.plannerOpts(obj, cons, sys.workerCount())
+	opts.Warm = j.warm
+	pl := planner.New(sys.Model, sys.simulator, opts)
+	return pl.ReplanContext(ctx, prev, pool)
+}
+
+// Simulate implements API: the analytical simulator's estimate of a plan.
+// Simulation is cheap and does not occupy a planner-concurrency slot.
+func (s *Service) Simulate(job string, plan Plan) (est Estimate, err error) {
+	done := s.begin(&s.simulates)
+	defer func() { done(err) }()
+	j, err := s.job(job)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return j.sys.simulator.Estimate(plan)
+}
+
+// Stats implements API with a consistent snapshot of the counters.
+func (s *Service) Stats() (ServiceStats, error) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	cached := s.systems.len()
+	s.mu.Unlock()
+	uptime := time.Since(s.start).Seconds()
+	reqs := s.requests.Load()
+	qps := 0.0
+	if uptime > 0 {
+		qps = float64(reqs) / uptime
+	}
+	return ServiceStats{
+		UptimeSeconds:     uptime,
+		Requests:          reqs,
+		QPS:               qps,
+		Plans:             s.plans.Load(),
+		Replans:           s.replans.Load(),
+		Simulates:         s.simulates.Load(),
+		Errors:            s.errors.Load(),
+		InFlight:          s.inflight.Load(),
+		JobsOpen:          jobs,
+		SystemsCached:     cached,
+		SystemCacheHits:   s.sysHits.Load(),
+		SystemCacheMisses: s.sysMisses.Load(),
+	}, nil
+}
+
+// systemLRU is a small least-recently-used cache of profiled Systems.
+// Callers hold s.mu; the LRU itself is not locked.
+type systemLRU struct {
+	cap   int
+	order []string // most recently used first
+	items map[string]*System
+}
+
+func newSystemLRU(cap int) *systemLRU {
+	return &systemLRU{cap: cap, items: map[string]*System{}}
+}
+
+func (l *systemLRU) len() int { return len(l.items) }
+
+func (l *systemLRU) touch(key string) {
+	for i, k := range l.order {
+		if k == key {
+			copy(l.order[1:i+1], l.order[:i])
+			l.order[0] = key
+			return
+		}
+	}
+	l.order = append([]string{key}, l.order...)
+}
+
+func (l *systemLRU) get(key string) (*System, bool) {
+	sys, ok := l.items[key]
+	if ok {
+		l.touch(key)
+	}
+	return sys, ok
+}
+
+func (l *systemLRU) put(key string, sys *System) {
+	l.items[key] = sys
+	l.touch(key)
+	for len(l.items) > l.cap {
+		last := l.order[len(l.order)-1]
+		l.order = l.order[:len(l.order)-1]
+		delete(l.items, last)
+	}
+}
