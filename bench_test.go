@@ -135,6 +135,70 @@ func BenchmarkSimulatorEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkSimEstimate measures the overhauled estimate hot path with
+// allocation reporting: table-driven stage timings, pooled scratch, and
+// per-pipeline dedup. The homogeneous case collapses all DP pipelines to
+// one makespan evaluation; the mixed case pays one per distinct timing
+// vector.
+func BenchmarkSimEstimate(b *testing.B) {
+	cfg := model.OPT350M()
+	homPlan := benchPlan(cfg, core.A100, 4, 8, 2, 2)
+	s, _ := benchLab(b, cfg, core.A100, core.V100)
+	mixPlan := benchPlan(cfg, core.A100, 4, 8, 2, 2)
+	for i := range mixPlan.Stages {
+		mixPlan.Stages[i].Replicas[1].GPU = core.V100 // second pipeline differs
+	}
+	for _, bc := range []struct {
+		name string
+		plan core.Plan
+	}{
+		{"homogeneous", homPlan},
+		{"mixed-replicas", mixPlan},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Estimate(bc.plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPruning quantifies the bound-based pruning: the same search with
+// pruning on and off, with the explored-node counts reported so the bench
+// log shows what the bounds skipped. The chosen plan is identical in both
+// variants (asserted by TestBoundPruningExact).
+func BenchmarkPruning(b *testing.B) {
+	cfg := model.OPT350M()
+	s, _ := benchLab(b, cfg, core.A100)
+	pool := cluster.NewPool().Set(benchZone, core.A100, 64)
+	for _, bc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"pruned", false},
+		{"unpruned", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			explored := 0
+			for i := 0; i < b.N; i++ {
+				pl := planner.New(cfg, s, planner.Options{
+					Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
+					Workers: 1, DisableBoundPruning: bc.disable,
+				})
+				res, err := pl.Plan(pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				explored = res.Explored
+			}
+			b.ReportMetric(float64(explored), "explored/op")
+		})
+	}
+}
+
 // BenchmarkGroundTruthMeasure measures one discrete-event execution — the
 // testbed substitute's cost per deployment.
 func BenchmarkGroundTruthMeasure(b *testing.B) {

@@ -1,4 +1,5 @@
-// Command sailor-bench regenerates the paper's tables and figures.
+// Command sailor-bench regenerates the paper's tables and figures, and
+// maintains the repo's planner perf trajectory.
 //
 // Usage:
 //
@@ -6,6 +7,10 @@
 //	sailor-bench -id fig7           # one experiment
 //	sailor-bench -id fig9b -cap 60s # raise the slow-planner cap
 //	sailor-bench -list
+//	sailor-bench -json                       # run the planner perf suite,
+//	                                         # write BENCH_planner.json
+//	sailor-bench -json -bench-out out.json   # ... to a custom path
+//	sailor-bench -validate BENCH_planner.json # schema-check a document
 package main
 
 import (
@@ -28,9 +33,26 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink cluster sizes for a fast pass")
 	cap := flag.Duration("cap", 10*time.Second, "deadline for slow searchers (paper caps Metis at 300s)")
 	workers := flag.Int("workers", runtime.NumCPU(), "Sailor planner search parallelism (goroutines)")
+	jsonOut := flag.Bool("json", false, "run the planner perf suite and write -bench-out instead of experiments")
+	benchOut := flag.String("bench-out", "BENCH_planner.json", "output path for the -json perf document")
+	validate := flag.String("validate", "", "schema-check a BENCH_planner.json document and exit")
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
+	}
+
+	if *validate != "" {
+		if err := validateBenchJSON(*validate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid planner-bench document (schema v%d)\n", *validate, benchSchemaVersion)
+		return
+	}
+	if *jsonOut {
+		if err := writeBenchJSON(*benchOut, *workers, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *list {

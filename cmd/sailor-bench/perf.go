@@ -1,0 +1,267 @@
+package main
+
+// The planner perf harness behind -json: a fixed suite of cold-search,
+// warm-replan, and multi-tenant-service benchmarks whose results are
+// written as a versioned JSON document (BENCH_planner.json). The committed
+// document is the repo's perf trajectory; CI regenerates and validates it
+// on every change so planner regressions show up as a diff, not a surprise.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/sailor"
+)
+
+// benchSchemaVersion is the BENCH_planner.json schema version; -validate
+// rejects documents from a different schema by name.
+const benchSchemaVersion = 1
+
+// benchResult is one benchmark's row in the document.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Explored and CacheHits are planner telemetry from one instrumented
+	// run of the bench body (search work, not wall-clock).
+	Explored  int `json:"explored"`
+	CacheHits int `json:"cache_hits"`
+}
+
+// benchDoc is the BENCH_planner.json document.
+type benchDoc struct {
+	V       int           `json:"v"`
+	Kind    string        `json:"kind"`
+	Go      string        `json:"go"`
+	Workers int           `json:"workers"`
+	Benches []benchResult `json:"benches"`
+}
+
+// perfLab builds the shared evaluator for the planner benches.
+func perfLab(gpus ...core.GPUType) (*model.Config, *sim.Simulator, error) {
+	cfg := model.OPT350M()
+	prof, err := profiler.Collect(cfg, gpus, nil, profiler.Options{Seed: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &cfg, sim.New(cfg, prof), nil
+}
+
+// runPerfSuite executes the perf suite and assembles the document.
+func runPerfSuite(workers int) (benchDoc, error) {
+	doc := benchDoc{V: benchSchemaVersion, Kind: "planner-bench", Go: runtime.Version(), Workers: workers}
+
+	zone := cluster.GCPZone("us-central1", 'a')
+	pools := []struct {
+		name string
+		gpus []core.GPUType
+		pool *cluster.Pool
+	}{
+		{"planner_cold/homogeneous128", []core.GPUType{core.A100},
+			cluster.NewPool().Set(zone, core.A100, 128)},
+		{"planner_cold/heterogeneous64", []core.GPUType{core.A100, core.V100},
+			cluster.NewPool().Set(zone, core.A100, 32).Set(zone, core.V100, 32)},
+	}
+	for _, pc := range pools {
+		cfg, ev, err := perfLab(pc.gpus...)
+		if err != nil {
+			return doc, err
+		}
+		mk := func() *planner.Planner {
+			return planner.New(*cfg, ev, planner.Options{
+				Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(), Workers: workers,
+			})
+		}
+		probe, err := mk().Plan(pc.pool)
+		if err != nil {
+			return doc, fmt.Errorf("%s: %w", pc.name, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mk().Plan(pc.pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		doc.Benches = append(doc.Benches, row(pc.name, r, probe.Explored, probe.CacheHits))
+	}
+
+	// Warm replan chain over the preemption-storm availability sequence.
+	sc, ok := trace.ScenarioByName("preemption-storm")
+	if !ok {
+		return doc, fmt.Errorf("preemption-storm scenario not registered")
+	}
+	stormPools := sc.Trace(1).DistinctPools()
+	cfg, ev, err := perfLab(core.A100)
+	if err != nil {
+		return doc, err
+	}
+	warmChain := func(pl *planner.Planner) (hits, explored int, err error) {
+		var prev core.Plan
+		for _, pool := range stormPools {
+			res, err := pl.Replan(prev, pool)
+			if err != nil {
+				return 0, 0, err
+			}
+			prev = res.Plan
+			hits += res.CacheHits
+			explored += res.Explored
+		}
+		return hits, explored, nil
+	}
+	warmPl := planner.New(*cfg, ev, planner.Options{
+		Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
+		Workers: workers, Warm: planner.NewWarmCache(),
+	})
+	if _, _, err := warmChain(warmPl); err != nil { // populate the cache
+		return doc, err
+	}
+	hits, explored, err := warmChain(warmPl)
+	if err != nil {
+		return doc, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := warmChain(warmPl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benches = append(doc.Benches, row("replan_warm/preemption-storm", r, explored, hits))
+
+	// Multi-tenant service front door: one op = one plan per tenant.
+	const tenants = 4
+	var svcPools []*cluster.Pool
+	for i := 0; i < tenants; i++ {
+		svcPools = append(svcPools, cluster.NewPool().Set(zone, core.A100, 16+8*i))
+	}
+	svc := sailor.NewService(sailor.ServiceConfig{Workers: 1, MaxConcurrent: workers})
+	for i := 0; i < tenants; i++ {
+		if err := svc.OpenJob(fmt.Sprintf("bench-%d", i), sailor.OPT350M(), []core.GPUType{core.A100}); err != nil {
+			return doc, err
+		}
+	}
+	svcOp := func() (explored, hits int, err error) {
+		var wg sync.WaitGroup
+		results := make([]sailor.PlanResult, tenants)
+		errs := make([]error, tenants)
+		for t := 0; t < tenants; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				results[t], errs[t] = svc.Plan(context.Background(), fmt.Sprintf("bench-%d", t),
+					svcPools[t], core.MaxThroughput, core.Constraints{})
+			}(t)
+		}
+		wg.Wait()
+		for t := 0; t < tenants; t++ {
+			if errs[t] != nil {
+				return 0, 0, errs[t]
+			}
+			explored += results[t].Explored
+			hits += results[t].CacheHits
+		}
+		return explored, hits, nil
+	}
+	svcExplored, svcHits, err := svcOp()
+	if err != nil {
+		return doc, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svcOp(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benches = append(doc.Benches, row("service_plan/tenants=4", r, svcExplored, svcHits))
+	return doc, nil
+}
+
+func row(name string, r testing.BenchmarkResult, explored, hits int) benchResult {
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Explored:    explored,
+		CacheHits:   hits,
+	}
+}
+
+// writeBenchJSON runs the suite and writes the document to path.
+func writeBenchJSON(path string, workers int, log io.Writer) error {
+	doc, err := runPerfSuite(workers)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	for _, b := range doc.Benches {
+		fmt.Fprintf(log, "%-36s %14.0f ns/op %9d B/op %7d allocs/op  explored=%d cache-hits=%d\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.Explored, b.CacheHits)
+	}
+	fmt.Fprintf(log, "wrote %s (%d benches, workers=%d)\n", path, len(doc.Benches), workers)
+	return nil
+}
+
+// validateBenchJSON checks a BENCH_planner.json document against the
+// schema: correct version and kind, at least one bench, sane fields. CI
+// runs this after regenerating the document.
+func validateBenchJSON(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc benchDoc
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("%s: malformed document: %w", path, err)
+	}
+	if doc.V != benchSchemaVersion {
+		return fmt.Errorf("%s: schema version %d, want %d", path, doc.V, benchSchemaVersion)
+	}
+	if doc.Kind != "planner-bench" {
+		return fmt.Errorf("%s: kind %q, want \"planner-bench\"", path, doc.Kind)
+	}
+	if len(doc.Benches) == 0 {
+		return fmt.Errorf("%s: no benches recorded", path)
+	}
+	for _, b := range doc.Benches {
+		if b.Name == "" {
+			return fmt.Errorf("%s: bench with empty name", path)
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %s: ns_per_op %v not positive", path, b.Name, b.NsPerOp)
+		}
+		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 || b.Explored < 0 || b.CacheHits < 0 {
+			return fmt.Errorf("%s: %s: negative counter", path, b.Name)
+		}
+	}
+	return nil
+}

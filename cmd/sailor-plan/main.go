@@ -11,6 +11,7 @@
 //	sailor-plan -model opt350m -quota us-central1-a:A100-40:16,us-central1-a:V100-16:16
 //	sailor-plan -model gptneo27b -objective min-cost -min-throughput 0.05 -quota ...
 //	sailor-plan -server 127.0.0.1:7477 -json -quota ...
+//	sailor-plan -cpuprofile cpu.prof -memprofile mem.prof -quota ...  # pprof the search
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -62,11 +64,37 @@ func run(args []string, out io.Writer) error {
 	server := fs.String("server", "", "drive a sailor-serve daemon at host:port instead of planning in-process")
 	job := fs.String("job", "sailor-plan", "job name to open on the service")
 	jsonOut := fs.Bool("json", false, "emit the versioned wire-schema JSON document instead of text")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			f.Close()
+		}()
 	}
 
 	m, err := sailor.ModelByName(*modelName)

@@ -6,7 +6,10 @@
 // ground-truth engine uses.
 package pipeline
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // OpKind distinguishes forward from backward microbatch passes.
 type OpKind int
@@ -60,6 +63,41 @@ func OneFOneB(p, nb int) ([][]Op, error) {
 		sched[i] = ops
 	}
 	return sched, nil
+}
+
+// --- schedule cache ---------------------------------------------------------
+
+// schedCacheMax bounds the shared schedule cache; (p, nb) pairs beyond it
+// are built fresh (the working set of any search is far smaller).
+const schedCacheMax = 4096
+
+var (
+	schedMu    sync.RWMutex
+	schedCache = map[[2]int][][]Op{}
+)
+
+// Cached1F1B returns the 1F1B schedule for (p, nb) from a process-wide
+// cache. Schedules are immutable after construction, so sharing them across
+// goroutines and simulators is safe; the simulator's hot loop evaluates the
+// same handful of shapes millions of times per search.
+func Cached1F1B(p, nb int) ([][]Op, error) {
+	k := [2]int{p, nb}
+	schedMu.RLock()
+	s, ok := schedCache[k]
+	schedMu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	s, err := OneFOneB(p, nb)
+	if err != nil {
+		return nil, err
+	}
+	schedMu.Lock()
+	if len(schedCache) < schedCacheMax {
+		schedCache[k] = s
+	}
+	schedMu.Unlock()
+	return s, nil
 }
 
 // AnalyticTime is the closed-form 1F1B iteration-time estimate used by the
@@ -168,6 +206,114 @@ func Makespan(sched [][]Op,
 type opKey struct {
 	stage int
 	op    Op
+}
+
+// Scratch is reusable working storage for MakespanStageCosts. The zero
+// value is ready to use; one Scratch serves any schedule shape, growing to
+// the largest seen. Not safe for concurrent use — callers pool them.
+type Scratch struct {
+	finish []float64
+	next   []int
+	avail  []float64
+}
+
+// grow sizes the scratch for p stages with stride slots per stage and
+// resets it.
+func (sc *Scratch) grow(p, stride int) {
+	n := p * stride
+	if cap(sc.finish) < n {
+		sc.finish = make([]float64, n)
+	}
+	sc.finish = sc.finish[:n]
+	for i := range sc.finish {
+		sc.finish[i] = -1
+	}
+	if cap(sc.next) < p {
+		sc.next = make([]int, p)
+		sc.avail = make([]float64, p)
+	}
+	sc.next = sc.next[:p]
+	sc.avail = sc.avail[:p]
+	for i := 0; i < p; i++ {
+		sc.next[i] = 0
+		sc.avail[i] = 0
+	}
+}
+
+// MakespanStageCosts evaluates the same dependency DAG as Makespan for the
+// common case of stage-constant costs (fwd/bwd per stage, comm per
+// boundary), executing ops in the identical order so the floating-point
+// result is bit-for-bit equal — but with flat index arithmetic in caller
+// scratch instead of a map and closures, which removes the simulator's
+// dominant allocation source.
+func MakespanStageCosts(sched [][]Op, fwd, bwd, comm []float64, sc *Scratch) (float64, error) {
+	p := len(sched)
+	if p == 0 {
+		return 0, fmt.Errorf("pipeline: empty schedule")
+	}
+	maxMB := 0
+	remaining := 0
+	for _, ops := range sched {
+		remaining += len(ops)
+		for _, op := range ops {
+			if op.MB > maxMB {
+				maxMB = op.MB
+			}
+		}
+	}
+	stride := 2 * (maxMB + 1)
+	sc.grow(p, stride)
+	slot := func(stage int, op Op) int { return stage*stride + 2*op.MB + int(op.Kind) }
+
+	end := 0.0
+	for remaining > 0 {
+		progressed := false
+		for s := 0; s < p; s++ {
+			for sc.next[s] < len(sched[s]) {
+				op := sched[s][sc.next[s]]
+				// Cross-stage dependency, mirroring depTime.
+				depReady := 0.0
+				if op.Kind == Fwd {
+					if s > 0 {
+						f := sc.finish[slot(s-1, Op{Fwd, op.MB})]
+						if f < 0 {
+							break
+						}
+						depReady = f + comm[s-1]
+					}
+				} else if s < p-1 {
+					f := sc.finish[slot(s+1, Op{Bwd, op.MB})]
+					if f < 0 {
+						break
+					}
+					depReady = f + comm[s]
+				}
+				start := sc.avail[s]
+				if depReady > start {
+					start = depReady
+				}
+				var dur float64
+				if op.Kind == Fwd {
+					dur = fwd[s]
+				} else {
+					dur = bwd[s]
+				}
+				f := start + dur
+				sc.finish[slot(s, op)] = f
+				sc.avail[s] = f
+				if f > end {
+					end = f
+				}
+				sc.next[s]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return 0, fmt.Errorf("pipeline: schedule deadlocked with %d ops left", remaining)
+		}
+	}
+	return end, nil
 }
 
 // depTime returns when op's cross-stage dependency data arrives, or ok=false

@@ -5,11 +5,21 @@ package planner
 // an exact budget-threading recursion for shallow pipelines and a beam-
 // bounded fallback for deep ones. All methods run on a single task — the
 // DP itself is sequential; parallelism lives one level up in search.go.
+//
+// The hot loops are deliberately allocation-lean: the region state is
+// mutated in place (applyChoice/undoChoice) instead of cloned per combo,
+// stage compositions are enumerated into per-depth scratch buffers reused
+// across calls, candidate nodes are compared as value statistics and only
+// the per-suffix winner is materialised as a *dpNode, and every repeated
+// evaluator query (stage compute time, memory fit, DP sync time) resolves
+// through a per-task cache keyed by packed structs. None of this changes
+// any comparison: the enumeration order, the floating-point expressions,
+// and the tie-breaking are byte-for-byte those of the straightforward
+// clone-per-combo implementation, so plans stay bit-identical.
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -39,6 +49,13 @@ type stageChoice struct {
 	rateUSD float64
 }
 
+// cloneGroups detaches a choice's group composition from the enumeration
+// scratch buffer, for choices that outlive one stageCombos generation
+// (memoized winners and budget-path nodes).
+func cloneGroups(groups []replicaGroup) []replicaGroup {
+	return append([]replicaGroup(nil), groups...)
+}
+
 // dpNode is the memoized solution of the suffix starting at one stage.
 type dpNode struct {
 	choice    stageChoice
@@ -60,32 +77,89 @@ func (n *dpNode) costPerIter(nb int) float64 {
 	return n.rateUSD * float64(nb) * n.straggler
 }
 
+// appendChoiceSig appends the signature piece of one choice: the region,
+// the groups, and a '|' terminator. The terminator is the only '|' in the
+// piece, so two distinct pieces can never be prefixes of one another and
+// comparing piece-by-piece equals comparing whole chain signatures.
+func appendChoiceSig(b []byte, c stageChoice) []byte {
+	b = strconv.AppendInt(b, int64(c.region), 10)
+	b = append(b, ';')
+	for _, g := range c.groups {
+		b = strconv.AppendInt(b, int64(g.typeIdx), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(g.count), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(g.tp), 10)
+		b = append(b, ',')
+	}
+	return append(b, '|')
+}
+
 // sig is a stable signature of the node's choice chain, used only to break
 // exact metric ties deterministically (so it is computed lazily and the
 // cost never shows on the hot path).
 func (n *dpNode) sig() string {
-	var b strings.Builder
+	var b []byte
 	for c := n; c != nil; c = c.next {
-		fmt.Fprintf(&b, "%d;", c.choice.region)
-		for _, g := range c.choice.groups {
-			fmt.Fprintf(&b, "%d:%d:%d,", g.typeIdx, g.count, g.tp)
-		}
-		b.WriteByte('|')
+		b = appendChoiceSig(b, c.choice)
 	}
-	return b.String()
+	return string(b)
+}
+
+// nodeStats are the value-typed metrics of a candidate suffix node. The
+// combos loop compares candidates through these without allocating a
+// dpNode per loser; the arithmetic mirrors combine/leafNode exactly.
+type nodeStats struct {
+	straggler float64
+	sumTime   float64
+	maxSync   float64
+	rateUSD   float64
+}
+
+func (s nodeStats) metric(nb int) float64 {
+	return float64(nb)*s.straggler + s.sumTime + s.maxSync
+}
+
+// statsOf computes the metrics combine(choice, child) — or leafNode(choice)
+// when child is nil — would produce, without building the node.
+func statsOf(c stageChoice, child *dpNode) nodeStats {
+	if child == nil {
+		return nodeStats{straggler: c.perMB, sumTime: c.perMB, maxSync: c.sync, rateUSD: c.rateUSD}
+	}
+	st := nodeStats{straggler: c.perMB, maxSync: c.sync}
+	if child.straggler > st.straggler {
+		st.straggler = child.straggler
+	}
+	st.sumTime = c.perMB + child.sumTime
+	if child.maxSync > st.maxSync {
+		st.maxSync = child.maxSync
+	}
+	st.rateUSD = c.rateUSD + child.rateUSD
+	return st
+}
+
+// materialise builds the node a winning (choice, child) pair stands for.
+func materialise(c stageChoice, child *dpNode, st nodeStats) *dpNode {
+	return &dpNode{
+		choice: c, next: child,
+		straggler: st.straggler, sumTime: st.sumTime,
+		maxSync: st.maxSync, rateUSD: st.rateUSD,
+	}
 }
 
 // solveDP assigns resources to stages i..P-1, starting the region scan at
 // ri (H5: stages consume regions monotonically, so data-parallel groups
-// never straddle a region boundary while the pipeline may).
+// never straddle a region boundary while the pipeline may). The region
+// state is restored to its entry value before every return.
 func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, budget float64) *dpNode {
 	if t.s.expired() {
 		return nil
 	}
 	pp := len(layers)
-	memoKey := ""
-	if budget <= 0 { // unconstrained: memoization is sound
-		memoKey = rs.key(i, ri)
+	var memoKey dpKey
+	memoized := budget <= 0 // unconstrained: memoization is sound
+	if memoized {
+		memoKey = rs.packedKey(i, ri)
 		if n, ok := t.dpMemo[memoKey]; ok {
 			return n
 		}
@@ -95,74 +169,98 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 		// churn traces comes from. Hits are re-published into pending so
 		// the merge's over-cap eviction keeps the live working set rather
 		// than retaining only the latest search's misses.
-		if t.warmPrefix != "" {
-			full := t.warmPrefix + memoKey
+		if t.warmOn {
+			full := t.warmKey(memoKey)
 			if n, ok := t.s.warmDP[full]; ok {
-				t.s.warmHits.Add(1)
+				t.warmHits++
 				t.dpMemo[memoKey] = n
 				if t.pending == nil {
-					t.pending = map[string]*dpNode{}
+					t.pending = map[warmDPKey]*dpNode{}
 				}
 				t.pending[full] = n
 				return n
 			}
 		}
 	}
-	t.s.explored.Add(1)
+	t.explored++
 
 	var best *dpNode
-	for r := ri; r < len(rs.regions); r++ {
-		combos := t.stageCombos(rs, r, layers[i], i, pp, d, mbs, nb)
-		if budget > 0 && len(combos) > budgetBeamWidth {
-			// The budget-constrained recursion cannot reuse the memo
-			// (Listing 1 threads the remaining budget through solve_dp),
-			// so bound its branching with a beam over the fastest
-			// per-stage choices; the paper reports a 4x overhead rather
-			// than an exponential one, implying similar bounding.
-			sort.Slice(combos, func(a, b int) bool { return combos[a].perMB < combos[b].perMB })
-			combos = combos[:budgetBeamWidth]
-		}
-		for _, choice := range combos {
-			if t.s.expired() {
-				break
+	if budget > 0 {
+		for r := ri; r < len(rs.regions); r++ {
+			combos := t.stageCombos(rs, r, layers[i], i, pp, d, mbs, nb)
+			if len(combos) > budgetBeamWidth {
+				// The budget-constrained recursion cannot reuse the memo
+				// (Listing 1 threads the remaining budget through solve_dp),
+				// so bound its branching with a beam over the fastest
+				// per-stage choices; the paper reports a 4x overhead rather
+				// than an exponential one, implying similar bounding.
+				sort.Slice(combos, func(a, b int) bool { return combos[a].perMB < combos[b].perMB })
+				combos = combos[:budgetBeamWidth]
 			}
-			if budget > 0 {
+			for _, choice := range combos {
+				if t.s.expired() {
+					break
+				}
 				if n := t.solveWithBudget(rs, layers, i, r, d, mbs, nb, budget, choice); n != nil {
 					if best == nil || t.nodeBetter(n, best, nb) {
 						best = n
 					}
 				}
+			}
+		}
+		return best
+	}
+
+	// Unconstrained path: compare candidates as value stats, materialise
+	// only the winner.
+	var (
+		bestStats  nodeStats
+		bestChoice stageChoice
+		bestChild  *dpNode
+		have       bool
+	)
+	last := i == pp-1
+	for r := ri; r < len(rs.regions); r++ {
+		combos := t.stageCombos(rs, r, layers[i], i, pp, d, mbs, nb)
+		for _, choice := range combos {
+			if t.s.expired() {
+				break
+			}
+			applyChoice(rs, choice)
+			var child *dpNode
+			ok := true
+			if !last {
+				child = t.solveDP(rs, layers, i+1, r, d, mbs, nb, 0)
+				ok = child != nil
+			}
+			undoChoice(rs, choice)
+			if !ok {
 				continue
 			}
-			rs2 := rs.clone()
-			applyChoice(rs2, choice)
-			var node *dpNode
-			if i == pp-1 {
-				node = leafNode(choice)
-			} else {
-				child := t.solveDP(rs2, layers, i+1, r, d, mbs, nb, 0)
-				if child == nil {
-					continue
-				}
-				node = combine(choice, child)
-			}
-			if best == nil || t.nodeBetter(node, best, nb) {
-				best = node
+			st := statsOf(choice, child)
+			if !have || t.statsBetter(st, choice, child, bestStats, bestChoice, bestChild, nb) {
+				// The winner escapes this stageCombos generation, so its
+				// groups leave the shared scratch buffer.
+				choice.groups = cloneGroups(choice.groups)
+				bestStats, bestChoice, bestChild, have = st, choice, child, true
 			}
 		}
 	}
-	if memoKey != "" {
+	if have {
+		best = materialise(bestChoice, bestChild, bestStats)
+	}
+	if memoized {
 		t.dpMemo[memoKey] = best
-		if t.warmPrefix != "" && !t.s.expired() {
+		if t.warmOn && !t.s.expired() {
 			// Persist only nodes from uncancelled exploration: a cut-off
 			// subtree may have skipped choices, and caching its partial
 			// best would poison later replans. nil results (infeasible
 			// suffixes) are cached too — knowing a region state cannot
 			// host the remaining stages is as reusable as a solution.
 			if t.pending == nil {
-				t.pending = map[string]*dpNode{}
+				t.pending = map[warmDPKey]*dpNode{}
 			}
-			t.pending[t.warmPrefix+memoKey] = best
+			t.pending[t.warmKey(memoKey)] = best
 		}
 	}
 	return best
@@ -171,11 +269,13 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 // solveWithBudget implements the straggler-approximation loop of Listing 1
 // lines 17-32: assume this stage is the straggler, allocate the remaining
 // budget to the suffix, and re-adjust when the suffix turns out to contain
-// a slower stage.
+// a slower stage. The region state is restored before returning.
 func (t *task) solveWithBudget(rs *regionState, layers []int, i, r, d, mbs, nb int, budget float64, choice stageChoice) *dpNode {
 	pp := len(layers)
-	rs2 := rs.clone()
-	applyChoice(rs2, choice)
+	// Nodes built here outlive the enumeration scratch.
+	choice.groups = cloneGroups(choice.groups)
+	applyChoice(rs, choice)
+	defer undoChoice(rs, choice)
 	if i == pp-1 {
 		n := leafNode(choice)
 		if n.costPerIter(nb) > budget {
@@ -190,7 +290,7 @@ func (t *task) solveWithBudget(rs *regionState, layers []int, i, r, d, mbs, nb i
 		if rem <= 0 {
 			return nil
 		}
-		child := t.solveDP(rs2.clone(), layers, i+1, r, d, mbs, nb, rem)
+		child := t.solveDP(rs, layers, i+1, r, d, mbs, nb, rem)
 		if child == nil {
 			return nil
 		}
@@ -216,18 +316,7 @@ func leafNode(c stageChoice) *dpNode {
 }
 
 func combine(c stageChoice, child *dpNode) *dpNode {
-	n := &dpNode{choice: c, next: child}
-	n.straggler = c.perMB
-	if child.straggler > n.straggler {
-		n.straggler = child.straggler
-	}
-	n.sumTime = c.perMB + child.sumTime
-	n.maxSync = c.sync
-	if child.maxSync > n.maxSync {
-		n.maxSync = child.maxSync
-	}
-	n.rateUSD = c.rateUSD + child.rateUSD
-	return n
+	return materialise(c, child, statsOf(c, child))
 }
 
 func applyChoice(rs *regionState, c stageChoice) {
@@ -236,47 +325,55 @@ func applyChoice(rs *regionState, c stageChoice) {
 	}
 }
 
+func undoChoice(rs *regionState, c stageChoice) {
+	for _, g := range c.groups {
+		rs.counts[c.region][g.typeIdx] += g.count * g.tp
+	}
+}
+
 // stageCombos enumerates resource compositions for one stage in one region:
 // D replicas split across at most two GPU types (generate_combos in Listing
 // 1), with TP per type fixed by H2's minimum (plus one doubling, the
 // "scaling heuristic"). Without H2 every power-of-two TP is tried.
+//
+// The returned slice and the group compositions inside it live in per-depth
+// scratch buffers owned by the task: they are valid until the next
+// stageCombos call at the same stage index. Callers clone what outlives
+// the current enumeration.
 func (t *task) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, nb int) []stageChoice {
-	type typeOption struct {
-		ti  int
-		tps []int
-	}
-	var opts []typeOption
+	opts := t.optsBuf[:0]
+	tps := t.tpsBuf[:0]
 	for ti, g := range rs.types {
 		if rs.counts[region][ti] <= 0 {
 			continue
 		}
-		node := hardware.DefaultNodeType(g)
-		var tps []int
+		nodeGPUs := t.s.nodeCap[ti]
+		start := len(tps)
 		if t.pl.Opts.Heuristics.H2MinTP {
 			min := t.minTP(g, layers, stage, pp, mbs, nb)
 			if min == 0 {
 				continue // cannot fit this stage on this type at all
 			}
 			tps = append(tps, min)
-			if min*2 <= node.GPUsPerNode {
+			if min*2 <= nodeGPUs {
 				tps = append(tps, min*2)
 			}
 		} else {
-			for tp := 1; tp <= node.GPUsPerNode; tp *= 2 {
+			for tp := 1; tp <= nodeGPUs; tp *= 2 {
 				tps = append(tps, tp)
 			}
 		}
-		opts = append(opts, typeOption{ti, tps})
+		opts = append(opts, typeOption{ti: ti, lo: start, hi: len(tps)})
 	}
-	var out []stageChoice
+	t.optsBuf, t.tpsBuf = opts, tps
+
+	out := t.combosBuf[stage][:0]
+	arena := t.groupsBuf[stage][:0]
 	emit := func(groups []replicaGroup) {
-		// Verify availability.
-		need := map[int]int{}
+		// Verify availability. Groups within one composition use distinct
+		// types, so a per-group check equals the summed check.
 		for _, g := range groups {
-			need[g.typeIdx] += g.count * g.tp
-		}
-		for ti, n := range need {
-			if rs.counts[region][ti] < n {
+			if rs.counts[region][g.typeIdx] < g.count*g.tp {
 				return
 			}
 		}
@@ -287,85 +384,202 @@ func (t *task) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, n
 	}
 	// Single-type compositions.
 	for _, o := range opts {
-		for _, tp := range o.tps {
-			emit([]replicaGroup{{typeIdx: o.ti, count: d, tp: tp}})
+		for _, tp := range tps[o.lo:o.hi] {
+			start := len(arena)
+			arena = append(arena, replicaGroup{typeIdx: o.ti, count: d, tp: tp})
+			emit(arena[start:len(arena):len(arena)])
 		}
 	}
 	// Two-type mixes (the heterogeneous per-stage replicas of §4.4). The
 	// split points are sampled at quartiles plus the extremes; exhaustive
 	// splits add little beyond these and blow up the search.
-	splits := func(d int) []int {
-		set := map[int]bool{}
-		var ks []int
-		for _, k := range []int{1, d / 4, d / 2, 3 * d / 4, d - 1} {
-			if k >= 1 && k < d && !set[k] {
-				set[k] = true
-				ks = append(ks, k)
+	var ks [5]int
+	nks := 0
+	for _, k := range [5]int{1, d / 4, d / 2, 3 * d / 4, d - 1} {
+		if k < 1 || k >= d {
+			continue
+		}
+		dup := false
+		for _, seen := range ks[:nks] {
+			if seen == k {
+				dup = true
+				break
 			}
 		}
-		return ks
+		if !dup {
+			ks[nks] = k
+			nks++
+		}
 	}
 	for ai := 0; ai < len(opts); ai++ {
 		for bi := ai + 1; bi < len(opts); bi++ {
-			for _, tpa := range opts[ai].tps {
-				for _, tpb := range opts[bi].tps {
-					for _, k := range splits(d) {
-						emit([]replicaGroup{
-							{typeIdx: opts[ai].ti, count: k, tp: tpa},
-							{typeIdx: opts[bi].ti, count: d - k, tp: tpb},
-						})
+			for _, tpa := range tps[opts[ai].lo:opts[ai].hi] {
+				for _, tpb := range tps[opts[bi].lo:opts[bi].hi] {
+					for _, k := range ks[:nks] {
+						start := len(arena)
+						arena = append(arena,
+							replicaGroup{typeIdx: opts[ai].ti, count: k, tp: tpa},
+							replicaGroup{typeIdx: opts[bi].ti, count: d - k, tp: tpb})
+						emit(arena[start:len(arena):len(arena)])
 					}
 				}
 			}
 		}
 	}
+	t.combosBuf[stage], t.groupsBuf[stage] = out, arena
 	return out
 }
 
-// scoreChoice computes the per-stage DP metrics for a composition.
+// typeOption indexes one GPU type's candidate TP degrees inside the shared
+// tps scratch buffer.
+type typeOption struct {
+	ti     int
+	lo, hi int
+}
+
+// scoreChoice computes the per-stage DP metrics for a composition, serving
+// every repeated evaluator query from the per-task caches.
 func (t *task) scoreChoice(rs *regionState, region int, groups []replicaGroup, layers, stage, pp, mbs, d int) (stageChoice, bool) {
-	pl := t.pl
 	c := stageChoice{region: region, regionName: rs.regions[region], groups: groups}
-	last := stage == pp-1
 	minTP := 0
 	for gi := range groups {
 		groups[gi].gpu = rs.types[groups[gi].typeIdx]
 	}
 	for _, g := range groups {
-		gt := g.gpu
-		tm, err := pl.Sim.StageComputeTimeWith(gt, g.tp, mbs, layers, last, t.recompute)
-		if err != nil {
+		tm, ok := t.stageTimeAt(stage, g.typeIdx, g.tp)
+		if !ok {
 			return c, false
 		}
 		if tm > c.perMB {
 			c.perMB = tm
 		}
-		c.rateUSD += pl.Sim.GPUHourUSD(gt) / 3600 * float64(g.count*g.tp)
+		c.rateUSD += t.s.ratePerSec[g.typeIdx] * float64(g.count*g.tp)
 		if minTP == 0 || g.tp < minTP {
 			minTP = g.tp
 		}
 		// Without H2, reject compositions whose workers OOM outright
 		// (Sailor never emits OOM plans either way; this keeps the
 		// no-heuristics ablation semantically identical, just slower).
-		w := memory.WorkerShape{
-			Layers: layers, StageIdx: stage, PP: pp, TP: g.tp,
-			MicroBS: mbs, NumMicro: pp, FirstStg: stage == 0, LastStg: last,
-			Recompute: t.recompute,
-		}
-		spec, err := hardware.Lookup(gt)
-		if err != nil {
-			return c, false
-		}
-		if !memory.Fits(memory.WorkerFootprint(pl.Cfg, w).Total(), spec.MemoryBytes) {
+		if !t.fitsMemoryAt(stage, g.typeIdx, g.tp) {
 			return c, false
 		}
 	}
 	if d > 1 {
-		bytes := int64(layers) * pl.Cfg.GradBytesPerLayer(minTP)
 		// Within-region ring (H5/H6), scored at the inter-zone fit.
-		c.sync = pl.Sim.DPSyncTime(bytes, d)
+		c.sync = t.dpSyncTimeAt(stage, minTP, d)
 	}
 	return c, true
+}
+
+// taskTPSlots bounds the tensor-parallel degrees the dense per-task caches
+// index: powers of two up to 16, beyond every node size in the catalogue.
+const taskTPSlots = 5
+
+// tpSlotOf maps a power-of-two TP degree to its cache slot, or -1 (which
+// routes the query to the uncached evaluator call — it cannot occur with
+// the current hardware catalogue, where TP degrees are node-bounded powers
+// of two).
+func tpSlotOf(tp int) int {
+	if tp <= 0 || tp&(tp-1) != 0 || tp > 1<<(taskTPSlots-1) {
+		return -1
+	}
+	s := 0
+	for 1<<s != tp {
+		s++
+	}
+	return s
+}
+
+// cacheStates for the dense lazily-filled per-task tables.
+const (
+	cacheEmpty uint8 = iota
+	cacheOK
+	cacheBad
+)
+
+// denseIdx flattens (stage, typeIdx, slot).
+func (t *task) denseIdx(stage, ti, slot int) int {
+	return (stage*len(t.s.rs.types)+ti)*taskTPSlots + slot
+}
+
+// stageTimeAt resolves StageComputeTimeWith for one stage of the task's
+// layer partition through a dense per-task table — the per-combo map
+// lookups this replaces were the hottest instructions of the heterogeneous
+// search.
+func (t *task) stageTimeAt(stage, ti, tp int) (float64, bool) {
+	slot := tpSlotOf(tp)
+	if slot < 0 {
+		tm, err := t.stageTimeRaw(stage, ti, tp)
+		return tm, err == nil
+	}
+	i := t.denseIdx(stage, ti, slot)
+	if st := t.stageTok[i]; st != cacheEmpty {
+		return t.stageT[i], st == cacheOK
+	}
+	tm, err := t.stageTimeRaw(stage, ti, tp)
+	if err != nil {
+		t.stageTok[i] = cacheBad
+		return 0, false
+	}
+	t.stageT[i], t.stageTok[i] = tm, cacheOK
+	return tm, true
+}
+
+func (t *task) stageTimeRaw(stage, ti, tp int) (float64, error) {
+	last := stage == len(t.partition)-1
+	return t.pl.Sim.StageComputeTimeWith(t.s.rs.types[ti], tp, t.mbs, t.partition[stage], last, t.recompute)
+}
+
+// fitsMemoryAt resolves the per-worker memory check through the dense
+// per-task table.
+func (t *task) fitsMemoryAt(stage, ti, tp int) bool {
+	slot := tpSlotOf(tp)
+	if slot < 0 {
+		return t.fitsMemoryRaw(stage, ti, tp)
+	}
+	i := t.denseIdx(stage, ti, slot)
+	if st := t.fitTok[i]; st != cacheEmpty {
+		return st == cacheOK
+	}
+	ok := t.fitsMemoryRaw(stage, ti, tp)
+	if ok {
+		t.fitTok[i] = cacheOK
+	} else {
+		t.fitTok[i] = cacheBad
+	}
+	return ok
+}
+
+func (t *task) fitsMemoryRaw(stage, ti, tp int) bool {
+	pp := len(t.partition)
+	w := memory.WorkerShape{
+		Layers: t.partition[stage], StageIdx: stage, PP: pp, TP: tp,
+		MicroBS: t.mbs, NumMicro: pp, FirstStg: stage == 0, LastStg: stage == pp-1,
+		Recompute: t.recompute,
+	}
+	spec, err := hardware.Lookup(t.s.rs.types[ti])
+	if err != nil {
+		return false
+	}
+	return memory.Fits(memory.WorkerFootprint(t.pl.Cfg, w).Total(), spec.MemoryBytes)
+}
+
+// dpSyncTimeAt resolves DPSyncTime through the per-scan dense table (the
+// sync time depends on the scan's DP degree, so resetMemo clears it).
+func (t *task) dpSyncTimeAt(stage, minTP, d int) float64 {
+	slot := tpSlotOf(minTP)
+	if slot < 0 {
+		bytes := int64(t.partition[stage]) * t.pl.Cfg.GradBytesPerLayer(minTP)
+		return t.pl.Sim.DPSyncTime(bytes, d)
+	}
+	i := stage*taskTPSlots + slot
+	if t.syncTok[i] == cacheOK {
+		return t.syncT[i]
+	}
+	bytes := int64(t.partition[stage]) * t.pl.Cfg.GradBytesPerLayer(minTP)
+	v := t.pl.Sim.DPSyncTime(bytes, d)
+	t.syncT[i], t.syncTok[i] = v, cacheOK
+	return v
 }
 
 // minTP resolves heuristic H2's minimum viable tensor-parallel degree

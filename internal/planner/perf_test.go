@@ -1,0 +1,97 @@
+package planner
+
+// Allocation-regression tests and micro-benchmarks for the DP hot path.
+// The ceilings are part of the perf contract of the profile-guided
+// overhaul: the packed-key memo probe is allocation-free, so a memo-served
+// solveDP pass must stay at zero allocations and a cold pass must stay
+// within a small constant per explored node.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+)
+
+// dpLab builds an initialised search/task pair over a pool, mirroring the
+// setup runPass/searchDP perform.
+func dpLab(tb testing.TB, pool *cluster.Pool, gpus ...core.GPUType) (*Planner, *search, *task, *regionState, []int) {
+	tb.Helper()
+	cfg := model.OPT350M()
+	prof, err := profiler.Collect(cfg, gpus, nil, profiler.Options{Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pl := New(cfg, sim.New(cfg, prof), Options{
+		Objective: core.MaxThroughput, Heuristics: AllHeuristics(), Workers: 1,
+	})
+	rs := newRegionState(pool, true)
+	s := newSearch(pl, context.Background())
+	tb.Cleanup(s.stop)
+	s.bindState(rs)
+	layers := partitionLayers(cfg.Layers, 4)
+	t := &task{s: s, pl: pl, mbs: 2}
+	t.init(rs, layers)
+	t.resetMemo(2, cfg.GlobalBatch/(2*2))
+	return pl, s, t, rs, layers
+}
+
+// TestSolveDPMemoHitAllocFree: a solveDP pass served entirely from the
+// scan memo performs zero allocations — the packed dpKey probe never
+// touches the heap.
+func TestSolveDPMemoHitAllocFree(t *testing.T) {
+	pool := cluster.NewPool().Set(zoneA, core.A100, 16)
+	_, _, tk, rs, layers := dpLab(t, pool, core.A100)
+	work := rs.clone()
+	nb := tk.pl.Cfg.GlobalBatch / (2 * 2)
+	if n := tk.solveDP(work, layers, 0, 0, 2, 2, nb, 0); n == nil {
+		t.Fatal("cold pass found no solution")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tk.solveDP(work, layers, 0, 0, 2, 2, nb, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("memo-served solveDP allocates %.1f times per pass; want 0", allocs)
+	}
+}
+
+// TestSolveDPColdAllocCeiling: a cold solveDP pass over a 16-GPU pool
+// stays within a small allocation budget (the clone-per-combo
+// implementation it replaced spent thousands here).
+func TestSolveDPColdAllocCeiling(t *testing.T) {
+	pool := cluster.NewPool().Set(zoneA, core.A100, 16)
+	_, _, tk, rs, layers := dpLab(t, pool, core.A100)
+	work := rs.clone()
+	nb := tk.pl.Cfg.GlobalBatch / (2 * 2)
+	const ceiling = 256
+	allocs := testing.AllocsPerRun(20, func() {
+		tk.resetMemo(2, nb)
+		if n := tk.solveDP(work, layers, 0, 0, 2, 2, nb, 0); n == nil {
+			t.Fatal("no solution")
+		}
+	})
+	if allocs > ceiling {
+		t.Errorf("cold solveDP pass allocates %.0f times; ceiling %d", allocs, ceiling)
+	}
+}
+
+// BenchmarkDPMemoHit measures the memoized fast path of the DP: the packed
+// key build plus one map probe per stage state.
+func BenchmarkDPMemoHit(b *testing.B) {
+	pool := cluster.NewPool().Set(zoneA, core.A100, 16)
+	_, _, tk, rs, layers := dpLab(b, pool, core.A100)
+	work := rs.clone()
+	nb := tk.pl.Cfg.GlobalBatch / (2 * 2)
+	if n := tk.solveDP(work, layers, 0, 0, 2, 2, nb, 0); n == nil {
+		b.Fatal("cold pass found no solution")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.solveDP(work, layers, 0, 0, 2, 2, nb, 0)
+	}
+}

@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/hardware"
 	"repro/internal/model"
 )
 
@@ -104,6 +105,13 @@ type Options struct {
 	// a planner with a different model, objective, constraints, heuristic
 	// set, or evaluator instance ignores it and searches cold.
 	Warm *WarmCache
+	// DisableBoundPruning turns off the admissible bound-based pruning of
+	// DP-degree scans. Pruning is exact — the chosen plan is identical
+	// either way — so this exists only for ablations and for measuring the
+	// pruning's effect on Explored (see BenchmarkPruning). Excluded from
+	// the warm-cache fingerprint: cached entries are pure functions of
+	// their keys and remain valid under either setting.
+	DisableBoundPruning bool
 }
 
 // Result is the planner's output plus search telemetry.
@@ -143,6 +151,21 @@ type Evaluator interface {
 	DPSyncTime(bytes int64, d int) float64
 }
 
+// BoundPrunable is an optional Evaluator extension. An implementation
+// declares that its Estimate never reports an iteration time below the
+// serialized stage-busy bound the planner's pruning relies on (every stage
+// executes nb forward+backward passes back to back or waiting, so
+// iteration time is at least nb — capped per prune.go for the
+// extrapolated regime — times the cheapest per-layer fwd+bwd it could
+// quote). Bound-based pruning activates only for evaluators that declare
+// this; an Evaluator without the marker is searched unpruned, so exactness
+// is never traded for speed on an unknown estimation backend.
+type BoundPrunable interface {
+	// StageBusyLowerBounded reports whether the admissibility property
+	// above holds for this evaluator instance.
+	StageBusyLowerBounded() bool
+}
+
 // Planner searches the joint resource-allocation x parallelization space.
 // It holds only immutable configuration; all per-search state lives in the
 // search struct, so one Planner may run any number of concurrent searches.
@@ -174,7 +197,7 @@ func (pl *Planner) Plan(pool *cluster.Pool) (Result, error) {
 // found so far (or an error when nothing valid was found). Options.Deadline,
 // when set, still applies on top of ctx.
 func (pl *Planner) PlanContext(ctx context.Context, pool *cluster.Pool) (Result, error) {
-	return pl.planContext(ctx, pool, nil, "")
+	return pl.planContext(ctx, pool, nil)
 }
 
 // Replan is the warm-start entry point of the elastic hot path: plan `pool`
@@ -191,28 +214,27 @@ func (pl *Planner) Replan(prev core.Plan, pool *cluster.Pool) (Result, error) {
 
 // ReplanContext is Replan with caller-controlled cancellation.
 func (pl *Planner) ReplanContext(ctx context.Context, prev core.Plan, pool *cluster.Pool) (Result, error) {
-	seed, sig := pl.seedFromPrev(prev, pool)
-	return pl.planContext(ctx, pool, seed, sig)
+	return pl.planContext(ctx, pool, pl.seedFromPrev(prev, pool))
 }
 
 // seedFromPrev evaluates the previous plan against the new pool: if the
 // pool still holds every GPU the plan occupies and the estimate passes the
 // memory check and constraints, the plan is usable as a fallback incumbent.
-func (pl *Planner) seedFromPrev(prev core.Plan, pool *cluster.Pool) (*Result, string) {
+func (pl *Planner) seedFromPrev(prev core.Plan, pool *cluster.Pool) *candidate {
 	if len(prev.Stages) == 0 {
-		return nil, ""
+		return nil
 	}
 	if !pool.CanFit(prev) {
-		return nil, ""
+		return nil
 	}
 	est, err := pl.seedEstimate(prev)
 	if err != nil || !est.FitsMemory {
-		return nil, ""
+		return nil
 	}
 	if !pl.Opts.Constraints.Satisfied(est.IterTime, est.Cost()) {
-		return nil, ""
+		return nil
 	}
-	return &Result{Plan: prev, Estimate: est}, prev.String()
+	return &candidate{res: Result{Plan: prev, Estimate: est}}
 }
 
 // seedEstimate scores the previous plan, serving it from the warm cache's
@@ -242,7 +264,7 @@ func (pl *Planner) fingerprint() string {
 		pl.Opts.MaxPP, pl.mbsCandidates())
 }
 
-func (pl *Planner) planContext(ctx context.Context, pool *cluster.Pool, seed *Result, seedSig string) (Result, error) {
+func (pl *Planner) planContext(ctx context.Context, pool *cluster.Pool, seed *candidate) (Result, error) {
 	start := time.Now()
 	if pl.Opts.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -251,7 +273,7 @@ func (pl *Planner) planContext(ctx context.Context, pool *cluster.Pool, seed *Re
 	}
 	if err := ctx.Err(); err != nil {
 		if seed != nil {
-			res := *seed
+			res := seed.res
 			res.SearchTime = time.Since(start)
 			return res, nil
 		}
@@ -277,8 +299,8 @@ func (pl *Planner) planContext(ctx context.Context, pool *cluster.Pool, seed *Re
 	// completion returns exactly what cold planning returns, and the
 	// previous plan only steps in when the cutoff fired before the search
 	// found anything at least as good.
-	if seed != nil && (s.best == nil || (s.expired() && pl.better(seed, seedSig, s.best, s.bestSig))) {
-		s.best, s.bestSig = seed, seedSig
+	if seed != nil && (s.best == nil || (s.expired() && pl.betterCand(seed, s.best))) {
+		s.best = seed
 	}
 	if s.best == nil {
 		res := Result{SearchTime: time.Since(start), Explored: int(s.explored.Load())}
@@ -287,12 +309,19 @@ func (pl *Planner) planContext(ctx context.Context, pool *cluster.Pool, seed *Re
 		}
 		return res, fmt.Errorf("planner: no valid plan within constraints for %d GPUs", pool.TotalGPUs())
 	}
-	best := *s.best
+	best := s.best.res
 	best.SearchTime = time.Since(start)
 	best.Explored = int(s.explored.Load())
 	best.WarmStart = s.warmOn
 	best.CacheHits = int(s.warmHits.Load())
 	return best, nil
+}
+
+// nodeGPUs resolves the node size of a GPU type (heuristic H1 caps TP at
+// it); the per-search cache in search.bindState avoids repeated catalogue
+// lookups in the DP's inner loops.
+func nodeGPUs(g core.GPUType) int {
+	return hardware.DefaultNodeType(g).GPUsPerNode
 }
 
 // workerCount resolves Options.Workers.

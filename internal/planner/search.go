@@ -2,7 +2,6 @@ package planner
 
 import (
 	"context"
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -20,27 +19,65 @@ type search struct {
 	explored atomic.Int64
 	minTP    *minTPCache
 
+	// rs is the top-level region state the pass was built from; tasks use
+	// its immutable region/type index (their own mutable clone carries the
+	// counts). ratePerSec and nodeCap are per-typeIdx evaluator constants
+	// resolved once per search so the DP's inner loops never re-query the
+	// pricing model or the hardware catalogue.
+	rs         *regionState
+	ratePerSec []float64
+	nodeCap    []int
+
+	// pruneOK marks the evaluator as declaring the bound-pruning
+	// admissibility property; bounds caches the per-(mbs, recompute)
+	// evaluator sweeps shared by every task of the pass.
+	pruneOK bool
+	boundMu sync.Mutex
+	bounds  map[evalBoundsKey]evalBounds
+
 	// Warm start (Options.Warm): warmDP/warmEst are read-only snapshots of
 	// the persisted DP memos and plan estimates taken when the search
 	// starts — every task may read them lock-free — and pendMu guards the
 	// entries this search computes for the single merge back into the
-	// cache at the end.
+	// cache at the end. shape is the pool-shape descriptor shared by every
+	// persisted key of this search.
 	warmOn   bool
-	warmDP   map[string]*dpNode
+	shape    string
+	warmDP   map[warmDPKey]*dpNode
 	warmEst  map[string]core.Estimate
 	warmHits atomic.Int64
 	pendMu   sync.Mutex
-	pending  map[string]*dpNode
+	pending  map[warmDPKey]*dpNode
 	pendEst  map[string]core.Estimate
 
 	// mu guards the incumbent. Workers publish candidates through offer's
 	// objective-aware compare-and-swap; ties break on the plan signature,
 	// never on arrival order, so the winner is independent of scheduling.
-	mu      sync.Mutex
-	best    *Result
-	bestSig string
+	mu   sync.Mutex
+	best *candidate
 
 	watch chan struct{} // closed by stop() to release the ctx watcher
+}
+
+// candidate pairs a search result with its lazily computed plan signature.
+// The signature is needed only to break exact metric ties, which are rare,
+// so Plan.String is no longer rebuilt for every materialised candidate —
+// only when a comparison actually reaches the tie-break.
+type candidate struct {
+	res    Result
+	sig    string
+	sigSet bool
+}
+
+// signature returns the tie-breaking plan signature, computing it at most
+// once. Safe for the goroutine owning the candidate; the shared incumbent's
+// signature is only resolved under the search mutex.
+func (c *candidate) signature() string {
+	if !c.sigSet {
+		c.sig = c.res.Plan.String()
+		c.sigSet = true
+	}
+	return c.sig
 }
 
 func newSearch(pl *Planner, ctx context.Context) *search {
@@ -72,15 +109,36 @@ func (s *search) stop() { close(s.watch) }
 
 func (s *search) expired() bool { return s.done.Load() }
 
-// takePending folds one finished task's computed DP entries into the
-// search-wide pending set for the end-of-search cache merge.
-func (s *search) takePending(t *task) {
+// bindState resolves the per-typeIdx evaluator constants for a pass.
+func (s *search) bindState(rs *regionState) {
+	s.rs = rs
+	if s.warmOn {
+		s.shape = rs.shape()
+	}
+	s.ratePerSec = make([]float64, len(rs.types))
+	s.nodeCap = make([]int, len(rs.types))
+	for ti, g := range rs.types {
+		s.ratePerSec[ti] = s.pl.Sim.GPUHourUSD(g) / 3600
+		s.nodeCap[ti] = nodeGPUs(g)
+	}
+	if bp, ok := s.pl.Sim.(BoundPrunable); ok && bp.StageBusyLowerBounded() {
+		s.pruneOK = true
+	}
+}
+
+// finishTask folds one finished task's computed DP entries into the
+// search-wide pending set for the end-of-search cache merge, and flushes
+// its locally batched telemetry counters (batched so the DP's inner loop
+// performs no atomic operations).
+func (s *search) finishTask(t *task) {
+	s.explored.Add(t.explored)
+	s.warmHits.Add(t.warmHits)
 	if len(t.pending) == 0 && len(t.pendEst) == 0 {
 		return
 	}
 	s.pendMu.Lock()
 	if s.pending == nil {
-		s.pending = make(map[string]*dpNode, len(t.pending))
+		s.pending = make(map[warmDPKey]*dpNode, len(t.pending))
 	}
 	for k, v := range t.pending {
 		s.pending[k] = v
@@ -94,20 +152,27 @@ func (s *search) takePending(t *task) {
 	s.pendMu.Unlock()
 }
 
-// offer publishes a candidate to the shared incumbent.
-func (s *search) offer(c *Result, sig string) {
+// offer publishes a candidate to the shared incumbent. The incumbent is a
+// private copy, so later lazy-signature fills on the caller's candidate
+// never race with other workers' comparisons.
+func (s *search) offer(c *candidate) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.best == nil || s.pl.better(c, sig, s.best, s.bestSig) {
+	if s.best == nil || s.pl.betterCand(c, s.best) {
 		cp := *c
 		s.best = &cp
-		s.bestSig = sig
 	}
 }
 
 // runPass fans the (pp, mbs) candidate grid across the worker pool. Each
 // job gets a fresh task — its own DP memo and region-state clone — so
 // workers share nothing hot but the incumbent and the minimum-TP cache.
+//
+// Before the fan-out, one deterministically chosen job (the floor job) runs
+// to completion and its best candidate becomes the pruning floor every
+// other job measures its admissible bounds against. Because the floor is
+// fixed before any worker starts, the set of explored configurations is
+// identical at any worker count.
 func (s *search) runPass(rs *regionState, pool *cluster.Pool, recompute bool) {
 	type job struct {
 		layers []int
@@ -120,18 +185,47 @@ func (s *search) runPass(rs *regionState, pool *cluster.Pool, recompute bool) {
 			jobs = append(jobs, job{layers, mbs})
 		}
 	}
+	if len(jobs) == 0 {
+		return
+	}
+	s.bindState(rs)
+
+	runJob := func(j job, floor *Result) *Result {
+		if s.expired() {
+			return nil
+		}
+		t := &task{s: s, pl: s.pl, recompute: recompute, mbs: j.mbs, floor: floor}
+		local := t.searchDP(rs.clone(), pool, j.layers, j.mbs)
+		s.finishTask(t)
+		if local == nil {
+			return nil
+		}
+		return &local.res
+	}
+
+	// Floor pass: the largest microbatch size at the shallowest pipeline
+	// depth — cheap to evaluate and usually competitive, so its result
+	// gives the bound-based pruning a useful incumbent from the start. Any
+	// choice is correct (pruning is exact); this one just prunes well.
+	floorIdx := len(s.pl.mbsCandidates()) - 1
+	floor := runJob(jobs[floorIdx], nil)
+
+	rest := make([]job, 0, len(jobs)-1)
+	for i, j := range jobs {
+		if i != floorIdx {
+			rest = append(rest, j)
+		}
+	}
 	workers := s.pl.workerCount()
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(rest) {
+		workers = len(rest)
 	}
 	if workers <= 1 {
-		for _, j := range jobs {
+		for _, j := range rest {
 			if s.expired() {
 				return
 			}
-			t := &task{s: s, pl: s.pl, recompute: recompute}
-			t.searchDP(rs.clone(), pool, j.layers, j.mbs)
-			s.takePending(t)
+			runJob(j, floor)
 		}
 		return
 	}
@@ -142,16 +236,11 @@ func (s *search) runPass(rs *regionState, pool *cluster.Pool, recompute bool) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				if s.expired() {
-					continue // drain
-				}
-				t := &task{s: s, pl: s.pl, recompute: recompute}
-				t.searchDP(rs.clone(), pool, j.layers, j.mbs)
-				s.takePending(t)
+				runJob(j, floor)
 			}
 		}()
 	}
-	for _, j := range jobs {
+	for _, j := range rest {
 		if s.expired() {
 			break
 		}
@@ -163,72 +252,132 @@ func (s *search) runPass(rs *regionState, pool *cluster.Pool, recompute bool) {
 
 // task is one worker's state while exploring a single (pp, mbs) candidate:
 // the DP memo is valid only within one DP-degree scan, and the cost-lean
-// and recompute flags change what the DP optimises.
+// and recompute flags change what the DP optimises. The scratch buffers
+// and query caches below make the DP's inner loops allocation-free without
+// changing any comparison.
 type task struct {
 	s  *search
 	pl *Planner
 
-	dpMemo map[string]*dpNode
+	dpMemo map[dpKey]*dpNode
 	// costLean flips the DP's comparison to prefer cheap stages over fast
 	// ones; the budget fallback uses it for its second pass.
 	costLean bool
 	// recompute marks the current search pass as rematerialisation-mode.
 	recompute bool
+	// mbs is the task's microbatch size.
+	mbs int
+	// floor is the search-wide pruning incumbent computed by the floor job
+	// (nil while the floor job itself runs).
+	floor *Result
 
-	// warmBase is the persisted-key prefix shared by the whole (pp, mbs)
-	// candidate (pool shape + pp + mbs); warmPrefix extends it with the
-	// per-scan fields (d, nb, recompute, costLean). Empty when the search
-	// has no warm cache.
-	warmBase   string
-	warmPrefix string
+	// warmOn marks the task as persisting DP entries; scan carries the
+	// per-scan key fields (d, nb, recompute, costLean) all persisted keys
+	// of the current DP-degree scan share.
+	warmOn bool
+	scan   warmDPKey
 	// pending/pendEst accumulate this task's computed DP entries and plan
 	// estimates under their persisted keys, flushed once into the search
-	// after searchDP returns.
-	pending map[string]*dpNode
-	pendEst map[string]core.Estimate
+	// after searchDP returns. explored/warmHits batch the telemetry
+	// counters the same way.
+	pending  map[warmDPKey]*dpNode
+	pendEst  map[string]core.Estimate
+	explored int64
+	warmHits int64
+
+	// Per-depth enumeration scratch (see stageCombos) and dense per-task
+	// caches of pure evaluator queries, indexed by (stage, type, log2 tp).
+	combosBuf [][]stageChoice
+	groupsBuf [][]replicaGroup
+	optsBuf   []typeOption
+	tpsBuf    []int
+	estBuf    []byte
+	partition []int
+	stageT    []float64
+	stageTok  []uint8
+	fitTok    []uint8
+	syncT     []float64
+	syncTok   []uint8
+}
+
+// init sizes the task's scratch buffers and dense caches for one layer
+// partition and attaches the warm-key prefix.
+func (t *task) init(rs *regionState, layers []int) {
+	pp := len(layers)
+	if len(t.combosBuf) < pp {
+		t.combosBuf = make([][]stageChoice, pp)
+		t.groupsBuf = make([][]replicaGroup, pp)
+	}
+	t.partition = layers
+	n := pp * len(rs.types) * taskTPSlots
+	t.stageT = make([]float64, n)
+	t.stageTok = make([]uint8, n)
+	t.fitTok = make([]uint8, n)
+	t.syncT = make([]float64, pp*taskTPSlots)
+	t.syncTok = make([]uint8, pp*taskTPSlots)
+	if t.s.warmOn {
+		t.warmOn = true
+		t.scan = warmDPKey{shape: t.s.shape, pp: int32(pp), mbs: int32(t.mbs)}
+	}
+}
+
+// warmKey extends the task's current scan prefix with one node's packed
+// state.
+func (t *task) warmKey(k dpKey) warmDPKey {
+	wk := t.scan
+	wk.key = k
+	return wk
 }
 
 // resetMemo starts a fresh DP-degree scan: the scan-local memo is cleared
 // and the persisted-key prefix is recomputed from the scan parameters.
 // Callers set costLean/recompute before calling.
 func (t *task) resetMemo(d, nb int) {
-	t.dpMemo = map[string]*dpNode{}
-	if t.warmBase != "" {
-		t.warmPrefix = fmt.Sprintf("%s%d|%d|%t|%t@", t.warmBase, d, nb, t.recompute, t.costLean)
+	t.dpMemo = map[dpKey]*dpNode{}
+	for i := range t.syncTok {
+		t.syncTok[i] = cacheEmpty
+	}
+	if t.warmOn {
+		t.scan.d, t.scan.nb = int32(d), int32(nb)
+		t.scan.recompute, t.scan.costLean = t.recompute, t.costLean
 	}
 }
 
 // searchDP explores DP degrees for one (layer partition, mbs) and publishes
-// improvements to the shared incumbent. The H3/H4 early stop is scoped to
-// this task's own scan — never to the cross-worker incumbent — so the set
-// of explored configurations is identical at any worker count and the
-// heuristic ablations stay meaningful.
-func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, mbs int) {
+// improvements to the shared incumbent, returning its local best. The H3/H4
+// early stop is scoped to this task's own scan — never to the cross-worker
+// incumbent — so the set of explored configurations is identical at any
+// worker count and the heuristic ablations stay meaningful. Bound-based
+// pruning (prunable) additionally skips DP degrees that provably cannot
+// beat the floor job's result, the task's own best, or the constraints;
+// the bounds are admissible, so the surviving winner is the same plan.
+func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, mbs int) *candidate {
 	pl := t.pl
 	pp := len(layers)
 	maxPer := pl.Cfg.GlobalBatch / mbs
 	if maxPer < 1 {
-		return
+		return nil
 	}
 	maxD := rs.totalGPUs() / pp // upper bound: 1 GPU per stage replica
 	if maxD > maxPer {
 		maxD = maxPer
 	}
 	if maxD < 1 {
-		return
+		return nil
 	}
-	if t.s.warmOn {
-		t.warmBase = fmt.Sprintf("%s|%d|%d|", rs.shape(), pp, mbs)
-	}
-	var localBest *Result
-	var localSig string
+	t.init(rs, layers)
+	bounds := t.candidateBounds(layers)
+	var localBest *candidate
 	noImprove := 0
 	for _, d := range pl.dCandidates(maxD) {
 		if t.s.expired() {
-			return
+			return localBest
 		}
 		nb := pl.Cfg.GlobalBatch / (d * mbs)
 		if nb < 1 {
+			continue
+		}
+		if t.prunable(bounds, pp, d, nb, localBest) {
 			continue
 		}
 		budget := pl.Opts.Constraints.MaxCostPerIter
@@ -242,19 +391,18 @@ func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, m
 		var nodes []*dpNode
 		t.costLean = false
 		t.resetMemo(d, nb)
-		if n := t.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, budget); n != nil {
+		if n := t.solveDP(rs, layers, 0, 0, d, mbs, nb, budget); n != nil {
 			nodes = append(nodes, n)
 		}
 		if pl.Opts.Constraints.MaxCostPerIter > 0 && budget == 0 {
 			t.costLean = true
 			t.resetMemo(d, nb)
-			if n := t.solveDP(rs.clone(), layers, 0, 0, d, mbs, nb, 0); n != nil {
+			if n := t.solveDP(rs, layers, 0, 0, d, mbs, nb, 0); n != nil {
 				nodes = append(nodes, n)
 			}
 			t.costLean = false
 		}
-		var cand *Result
-		var candSig string
+		var cand *candidate
 		for _, node := range nodes {
 			plan, ok := t.buildPlan(node, layers, mbs, origPool)
 			if !ok {
@@ -267,18 +415,17 @@ func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, m
 			if !pl.Opts.Constraints.Satisfied(est.IterTime, est.Cost()) {
 				continue
 			}
-			c := &Result{Plan: plan, Estimate: est}
-			sig := plan.String()
-			if cand == nil || pl.better(c, sig, cand, candSig) {
-				cand, candSig = c, sig
+			c := &candidate{res: Result{Plan: plan, Estimate: est}}
+			if cand == nil || pl.betterCand(c, cand) {
+				cand = c
 			}
 		}
 		if cand == nil {
 			continue
 		}
-		if localBest == nil || pl.better(cand, candSig, localBest, localSig) {
-			localBest, localSig = cand, candSig
-			t.s.offer(cand, candSig)
+		if localBest == nil || pl.betterCand(cand, localBest) {
+			localBest = cand
+			t.s.offer(cand)
 			noImprove = 0
 		} else if pl.Opts.Heuristics.H3H4DPOrdering {
 			noImprove++
@@ -288,24 +435,27 @@ func (t *task) searchDP(rs *regionState, origPool *cluster.Pool, layers []int, m
 			// ~ rate*D*T with T ~ 1/D), so H4 keeps the ascending order
 			// but scans every degree — the list is only log2(GPUs) long.
 			if pl.Opts.Objective != core.MinCost && noImprove >= 2 {
-				return
+				return localBest
 			}
 		}
 	}
+	return localBest
 }
 
 // estimate scores one materialised candidate plan, serving repeats from the
 // warm cache: the simulator's makespan evaluation is the measured hot spot
 // of a replan, and churn traces re-materialise the same candidates over and
 // over. The key — built only when a warm cache is attached, so cold
-// searches pay nothing here — is estKey's order-preserving serialization.
-// Served estimates count as cache hits, not as explored nodes.
+// searches pay nothing here — is estKey's order-preserving serialization,
+// assembled once per plan into the task's reusable scratch buffer. Served
+// estimates count as cache hits, not as explored nodes.
 func (t *task) estimate(plan core.Plan) (core.Estimate, error) {
 	key := ""
 	if t.s.warmOn {
-		key = estKey(plan)
+		t.estBuf = appendEstKey(t.estBuf[:0], plan)
+		key = string(t.estBuf)
 		if est, ok := t.s.warmEst[key]; ok {
-			t.s.warmHits.Add(1)
+			t.warmHits++
 			// Re-publish so over-cap eviction keeps the working set.
 			if t.pendEst == nil {
 				t.pendEst = map[string]core.Estimate{}
@@ -315,7 +465,7 @@ func (t *task) estimate(plan core.Plan) (core.Estimate, error) {
 		}
 	}
 	est, err := t.pl.Sim.Estimate(plan)
-	t.s.explored.Add(1)
+	t.explored++
 	if err == nil && key != "" {
 		if t.pendEst == nil {
 			t.pendEst = map[string]core.Estimate{}
@@ -325,27 +475,30 @@ func (t *task) estimate(plan core.Plan) (core.Estimate, error) {
 	return est, err
 }
 
-// better orders candidates by the objective, breaking metric ties by the
-// other metric and exact ties by the plan signature — a stable key, so the
-// chosen plan does not depend on which worker finished first.
-func (pl *Planner) better(a *Result, asig string, b *Result, bsig string) bool {
+// betterCand orders candidates by the objective, breaking metric ties by
+// the other metric and exact ties by the plan signature — a stable key, so
+// the chosen plan does not depend on which worker finished first. The
+// signature is resolved lazily: most comparisons are decided by the
+// metrics alone.
+func (pl *Planner) betterCand(a, b *candidate) bool {
+	ae, be := &a.res.Estimate, &b.res.Estimate
 	switch pl.Opts.Objective {
 	case core.MinCost:
-		if a.Estimate.Cost() != b.Estimate.Cost() {
-			return a.Estimate.Cost() < b.Estimate.Cost()
+		if ae.Cost() != be.Cost() {
+			return ae.Cost() < be.Cost()
 		}
-		if a.Estimate.IterTime != b.Estimate.IterTime {
-			return a.Estimate.IterTime < b.Estimate.IterTime
+		if ae.IterTime != be.IterTime {
+			return ae.IterTime < be.IterTime
 		}
 	default:
-		if a.Estimate.IterTime != b.Estimate.IterTime {
-			return a.Estimate.IterTime < b.Estimate.IterTime
+		if ae.IterTime != be.IterTime {
+			return ae.IterTime < be.IterTime
 		}
-		if a.Estimate.Cost() != b.Estimate.Cost() {
-			return a.Estimate.Cost() < b.Estimate.Cost()
+		if ae.Cost() != be.Cost() {
+			return ae.Cost() < be.Cost()
 		}
 	}
-	return asig < bsig
+	return a.signature() < b.signature()
 }
 
 // nodeBetter orders DP nodes: by the time metric normally, by resource
@@ -365,4 +518,33 @@ func (t *task) nodeBetter(a, b *dpNode, nb int) bool {
 		return a.rateUSD < b.rateUSD
 	}
 	return a.sig() < b.sig()
+}
+
+// statsBetter is nodeBetter over a not-yet-materialised candidate (aStats,
+// aChoice, aChild) against the current best (bStats, bChoice, bChild). The
+// chain signatures are compared piecewise — head choice first, then the
+// already-materialised children — which appendChoiceSig's terminator makes
+// equivalent to comparing whole chain strings.
+func (t *task) statsBetter(aStats nodeStats, aChoice stageChoice, aChild *dpNode,
+	bStats nodeStats, bChoice stageChoice, bChild *dpNode, nb int) bool {
+	if t.costLean {
+		if aStats.rateUSD != bStats.rateUSD {
+			return aStats.rateUSD < bStats.rateUSD
+		}
+	}
+	if am, bm := aStats.metric(nb), bStats.metric(nb); am != bm {
+		return am < bm
+	}
+	if aStats.rateUSD != bStats.rateUSD {
+		return aStats.rateUSD < bStats.rateUSD
+	}
+	ea := string(appendChoiceSig(nil, aChoice))
+	eb := string(appendChoiceSig(nil, bChoice))
+	if ea != eb {
+		return ea < eb
+	}
+	if aChild == nil || bChild == nil {
+		return false // identical leaf chains: not better
+	}
+	return aChild.sig() < bChild.sig()
 }

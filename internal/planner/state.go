@@ -5,7 +5,7 @@ package planner
 // shared across workers behind sharded locks.
 
 import (
-	"fmt"
+	"encoding/binary"
 	"strings"
 	"sync"
 
@@ -74,8 +74,8 @@ func (rs *regionState) clone() *regionState {
 }
 
 // shape identifies the region/type index layout of the state. Persisted DP
-// memo keys are prefixed with it so entries from one pool are only consulted
-// for pools whose counts matrix is indexed identically.
+// memo keys carry it so entries from one pool are only consulted for pools
+// whose counts matrix is indexed identically.
 func (rs *regionState) shape() string {
 	var b strings.Builder
 	for _, r := range rs.regions {
@@ -90,15 +90,61 @@ func (rs *regionState) shape() string {
 	return b.String()
 }
 
-func (rs *regionState) key(stage, ri int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d", stage, ri)
+// dpKeyCells is the number of (region, type) availability cells a dpKey can
+// pack inline (16 bits each across two words). Searches over wider pools
+// spill to an allocated byte string; every pool in the evaluation — and
+// every ablation, including zone-granular search — fits inline.
+const dpKeyCells = 8
+
+// dpKey is the packed, comparable memo key of one solveDP call: the stage
+// index, the region scan position, and the remaining availability matrix.
+// It replaces the fmt-built string key that dominated the cold-search
+// profile — building one is a handful of shifts and hashing it is one
+// memhash over a 40-byte struct, with no allocation. The map probe itself
+// is the DP's hottest instruction stream, so the struct is kept minimal.
+type dpKey struct {
+	w0, w1 uint64 // counts cells, 16 bits each, in matrix order
+	stage  uint16
+	ri     uint16
+	n      uint16
+	// spill holds a varint encoding of the counts matrix when it does not
+	// fit the inline cells (too many cells or a count >= 1<<16). The words
+	// are zeroed in that case so equal spills compare equal.
+	spill string
+}
+
+// packedKey builds the memo key for (stage, ri) over the current counts.
+func (rs *regionState) packedKey(stage, ri int) dpKey {
+	k := dpKey{stage: uint16(stage), ri: uint16(ri)}
+	idx := 0
+	fits := true
 	for _, row := range rs.counts {
 		for _, c := range row {
-			fmt.Fprintf(&b, "|%d", c)
+			if idx < dpKeyCells && uint(c) < 1<<16 {
+				sh := uint(idx&3) * 16
+				if idx < 4 {
+					k.w0 |= uint64(c) << sh
+				} else {
+					k.w1 |= uint64(c) << sh
+				}
+			} else {
+				fits = false
+			}
+			idx++
 		}
 	}
-	return b.String()
+	k.n = uint16(idx)
+	if !fits {
+		buf := make([]byte, 0, 4*idx)
+		for _, row := range rs.counts {
+			for _, c := range row {
+				buf = binary.AppendVarint(buf, int64(c))
+			}
+		}
+		k.w0, k.w1 = 0, 0
+		k.spill = string(buf)
+	}
+	return k
 }
 
 // --- shared minimum-TP cache (H2) -----------------------------------------

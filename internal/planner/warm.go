@@ -32,8 +32,7 @@ package planner
 // incompatible entries.
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
@@ -46,6 +45,22 @@ import (
 // set, not just the latest search's misses.
 const warmMaxEntries = 1 << 17
 
+// warmDPKey is the packed persisted-memo key: the pool-shape descriptor,
+// the scan parameters that change what the DP optimises, and the packed
+// per-node state. A comparable struct, so snapshots merge and probe without
+// re-hashing fmt-built strings — the shape string is computed once per
+// search and shared by every key of that search.
+type warmDPKey struct {
+	shape     string
+	pp        int32
+	mbs       int32
+	d         int32
+	nb        int32
+	recompute bool
+	costLean  bool
+	key       dpKey
+}
+
 // WarmCache carries planner state across replans. The zero value is not
 // usable; call NewWarmCache.
 type WarmCache struct {
@@ -56,35 +71,53 @@ type WarmCache struct {
 	// evaluator alive, so a recycled allocation can never alias a new
 	// evaluator onto stale entries.
 	ev     Evaluator
-	dp     map[string]*dpNode
+	dp     map[warmDPKey]*dpNode
 	est    map[string]core.Estimate
 	minTP  *minTPCache
 	merges int
 }
 
-// estKey is the warm estimate-cache key for a materialised plan. It
-// serializes every estimate-relevant field in replica order — deliberately
-// NOT Plan.String(), which groups identical replicas within a stage and so
-// collapses orderings the simulator distinguishes (pipeline k is built
-// from replica k of every stage, and cross-stage links are classified by
-// zone pair). Both the in-search estimate path and the Replan seed check
-// resolve through it.
-func estKey(plan core.Plan) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%t", plan.MicroBatchSize, plan.Recompute)
+// appendEstKey serializes every estimate-relevant field of a plan in replica
+// order into b — deliberately NOT Plan.String(), which groups identical
+// replicas within a stage and so collapses orderings the simulator
+// distinguishes (pipeline k is built from replica k of every stage, and
+// cross-stage links are classified by zone pair). Built with raw byte
+// appends so the hot in-search path pays one allocation (the map-key
+// string), not a fmt call per field.
+func appendEstKey(b []byte, plan core.Plan) []byte {
+	b = strconv.AppendInt(b, int64(plan.MicroBatchSize), 10)
+	if plan.Recompute {
+		b = append(b, 'r')
+	} else {
+		b = append(b, 'f')
+	}
 	for _, st := range plan.Stages {
-		fmt.Fprintf(&b, "|s%d:%d", st.FirstLayer, st.NumLayers)
+		b = append(b, '|', 's')
+		b = strconv.AppendInt(b, int64(st.FirstLayer), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(st.NumLayers), 10)
 		for _, r := range st.Replicas {
-			fmt.Fprintf(&b, ";%s,%d,%s", r.GPU, r.TP, r.Zone.Name)
+			b = append(b, ';')
+			b = append(b, r.GPU...)
+			b = append(b, ',')
+			b = strconv.AppendInt(b, int64(r.TP), 10)
+			b = append(b, ',')
+			b = append(b, r.Zone.Name...)
 		}
 	}
-	return b.String()
+	return b
+}
+
+// estKey is the warm estimate-cache key for a materialised plan. Both the
+// in-search estimate path and the Replan seed check resolve through it.
+func estKey(plan core.Plan) string {
+	return string(appendEstKey(make([]byte, 0, 64), plan))
 }
 
 // NewWarmCache returns an empty warm-start cache.
 func NewWarmCache() *WarmCache {
 	return &WarmCache{
-		dp:    map[string]*dpNode{},
+		dp:    map[warmDPKey]*dpNode{},
 		est:   map[string]core.Estimate{},
 		minTP: newMinTPCache(),
 	}
@@ -94,7 +127,7 @@ func NewWarmCache() *WarmCache {
 // current read-only DP memo and estimate generations plus the shared
 // minimum-TP cache. ok is false when the cache already belongs to a
 // different fingerprint or evaluator instance.
-func (w *WarmCache) snapshot(fp string, ev Evaluator) (map[string]*dpNode, map[string]core.Estimate, *minTPCache, bool) {
+func (w *WarmCache) snapshot(fp string, ev Evaluator) (map[warmDPKey]*dpNode, map[string]core.Estimate, *minTPCache, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.fp == "" && w.ev == nil {
@@ -109,7 +142,7 @@ func (w *WarmCache) snapshot(fp string, ev Evaluator) (map[string]*dpNode, map[s
 // merge publishes the entries a finished search computed. The published
 // maps are rebuilt copy-on-write so snapshots handed to in-flight searches
 // are never mutated underneath them.
-func (w *WarmCache) merge(fp string, dp map[string]*dpNode, est map[string]core.Estimate) {
+func (w *WarmCache) merge(fp string, dp map[warmDPKey]*dpNode, est map[string]core.Estimate) {
 	if len(dp) == 0 && len(est) == 0 {
 		return
 	}
@@ -123,7 +156,7 @@ func (w *WarmCache) merge(fp string, dp map[string]*dpNode, est map[string]core.
 	// nothing to write and the O(cache)-sized copy-on-write rebuild can be
 	// skipped entirely — the merge degrades to an O(pending) key scan.
 	if hasNewKeys(w.dp, dp) {
-		next := make(map[string]*dpNode, len(w.dp)+len(dp))
+		next := make(map[warmDPKey]*dpNode, len(w.dp)+len(dp))
 		if len(w.dp)+len(dp) <= warmMaxEntries {
 			for k, v := range w.dp {
 				next[k] = v
@@ -134,7 +167,7 @@ func (w *WarmCache) merge(fp string, dp map[string]*dpNode, est map[string]core.
 		}
 		w.dp = next
 	}
-	if hasNewKeysEst(w.est, est) {
+	if hasNewKeys(w.est, est) {
 		next := make(map[string]core.Estimate, len(w.est)+len(est))
 		if len(w.est)+len(est) <= warmMaxEntries {
 			for k, v := range w.est {
@@ -149,16 +182,7 @@ func (w *WarmCache) merge(fp string, dp map[string]*dpNode, est map[string]core.
 	w.merges++
 }
 
-func hasNewKeys(have map[string]*dpNode, pending map[string]*dpNode) bool {
-	for k := range pending {
-		if _, ok := have[k]; !ok {
-			return true
-		}
-	}
-	return false
-}
-
-func hasNewKeysEst(have map[string]core.Estimate, pending map[string]core.Estimate) bool {
+func hasNewKeys[K comparable, V any](have, pending map[K]V) bool {
 	for k := range pending {
 		if _, ok := have[k]; !ok {
 			return true

@@ -198,7 +198,7 @@ func TestReplanSeedRespectsConstraints(t *testing.T) {
 		Objective:   core.MaxThroughput,
 		Constraints: core.Constraints{MinThroughput: 2 / first.Estimate.IterTime},
 	})
-	seed, _ := tight.seedFromPrev(first.Plan, pool)
+	seed := tight.seedFromPrev(first.Plan, pool)
 	if seed != nil {
 		t.Error("seed violating MinThroughput must be rejected")
 	}

@@ -1,0 +1,109 @@
+package sim
+
+// Allocation-regression tests for the estimate hot path. Estimate is the
+// planner's inner loop; before the dense-table/scratch overhaul one call
+// cost ~190 allocations (schedule build, map-based makespan, per-pipeline
+// slices). The ceilings here pin the overhauled costs so regressions fail
+// loudly rather than silently eating the planner's speedup.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+)
+
+func allocPlan(cfg model.Config, g core.GPUType, pp, dp, tp, mbs int) core.Plan {
+	per := cfg.Layers / pp
+	rem := cfg.Layers - per*pp
+	plan := core.Plan{MicroBatchSize: mbs}
+	first := 0
+	for i := 0; i < pp; i++ {
+		n := per
+		if i < rem {
+			n++
+		}
+		st := core.StagePlan{FirstLayer: first, NumLayers: n}
+		for k := 0; k < dp; k++ {
+			st.Replicas = append(st.Replicas, core.StageReplica{GPU: g, TP: tp, Zone: zoneA})
+		}
+		plan.Stages = append(plan.Stages, st)
+		first += n
+	}
+	return plan
+}
+
+// TestEstimateAllocCeiling: one steady-state Estimate stays within a small
+// constant allocation budget (the result's StageTimes slice plus scratch
+// bookkeeping), independent of the DP degree.
+func TestEstimateAllocCeiling(t *testing.T) {
+	cfg := model.OPT350M()
+	s := newSim(t, cfg, core.A100)
+	plan := allocPlan(cfg, core.A100, 4, 8, 2, 2)
+	if _, err := s.Estimate(plan); err != nil { // warm tables and schedule cache
+		t.Fatal(err)
+	}
+	const ceiling = 16
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.Estimate(plan); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > ceiling {
+		t.Errorf("Estimate allocates %.0f times per call; ceiling %d", allocs, ceiling)
+	}
+}
+
+// TestPipelineTimeAllocFree: with warm schedule cache and grown scratch,
+// the exact 1F1B evaluation allocates nothing at all — for both the exact
+// and the extrapolated regime.
+func TestPipelineTimeAllocFree(t *testing.T) {
+	cfg := model.OPT350M()
+	s := newSim(t, cfg, core.A100)
+	fwd := []float64{0.01, 0.01, 0.01, 0.01}
+	bwd := []float64{0.02, 0.02, 0.02, 0.02}
+	comm := []float64{0.005, 0.005, 0.005}
+	sc := &pipeline.Scratch{}
+	for _, nb := range []int{8, 200} { // exact path, extrapolated path
+		if _, err := s.pipelineTime(fwd, bwd, comm, nb, sc); err != nil { // warm
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := s.pipelineTime(fwd, bwd, comm, nb, sc); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("pipelineTime(nb=%d) allocates %.1f times per call; want 0", nb, allocs)
+		}
+	}
+}
+
+// TestMakespanStageCostsMatchesMakespan: the flat-scratch evaluator is
+// bit-identical to the exported map-based Makespan on the same DAG.
+func TestMakespanStageCostsMatchesMakespan(t *testing.T) {
+	fwd := []float64{0.011, 0.013, 0.017, 0.010}
+	bwd := []float64{0.023, 0.019, 0.029, 0.021}
+	comm := []float64{0.004, 0.007, 0.002}
+	for _, nb := range []int{1, 3, 8, 64} {
+		sched, err := pipeline.OneFOneB(len(fwd), nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pipeline.Makespan(sched,
+			func(st, _ int) float64 { return fwd[st] },
+			func(st, _ int) float64 { return bwd[st] },
+			func(b int) float64 { return comm[b] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pipeline.MakespanStageCosts(sched, fwd, bwd, comm, &pipeline.Scratch{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("nb=%d: MakespanStageCosts=%v, Makespan=%v", nb, got, want)
+		}
+	}
+}

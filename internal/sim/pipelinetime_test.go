@@ -19,7 +19,7 @@ func TestPipelineTimeMatchesExactDAG(t *testing.T) {
 	bwd := []float64{0.02, 0.02, 0.02, 0.02}
 	comm := []float64{0.005, 0.005, 0.005}
 	const nb = 200
-	got, err := s.pipelineTime(fwd, bwd, comm, nb)
+	got, err := s.pipelineTime(fwd, bwd, comm, nb, &pipeline.Scratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestPipelineTimeShortIterationExact(t *testing.T) {
 	bwd := []float64{0.02, 0.06}
 	comm := []float64{0.004}
 	const nb = 5 // below the 4P prefix: must be evaluated exactly
-	got, err := s.pipelineTime(fwd, bwd, comm, nb)
+	got, err := s.pipelineTime(fwd, bwd, comm, nb, &pipeline.Scratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestPipelineTimeClosedFormFallback(t *testing.T) {
 	fwd := []float64{0.01, 0.01}
 	bwd := []float64{0.02, 0.02}
 	comm := []float64{0.05}
-	got, err := s.pipelineTime(fwd, bwd, comm, 64)
+	got, err := s.pipelineTime(fwd, bwd, comm, 64, &pipeline.Scratch{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestDeepPipelineLatencyExposure(t *testing.T) {
 		comm[i] = 0.003 // comparable to f+b
 	}
 	const nb = 256
-	dag, err := s.pipelineTime(fwd, bwd, comm, nb)
+	dag, err := s.pipelineTime(fwd, bwd, comm, nb, &pipeline.Scratch{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,186 @@
+package sim
+
+// Dense timing tables and reusable evaluation scratch. The simulator's
+// Estimate is the planner's inner loop: profiling shows it dominated by
+// profiler map lookups (with interpolation re-run per query), 1F1B schedule
+// construction, and the map-based makespan evaluator. This file
+// precomputes a dense (gpu, tp, mbs) → LayerTiming table at first use —
+// values come from the profiler's own lookup, so interpolated entries are
+// bit-identical — and pools the per-call scratch so a steady-state Estimate
+// allocates only its result slice.
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/profiler"
+)
+
+// tableTPSlots bounds the tensor-parallel degrees the dense table indexes:
+// powers of two up to 1<<(tableTPSlots-1). Profiles never exceed the node
+// size (H1), far below this.
+const tableTPSlots = 7
+
+// timingTable is the dense lookup for one profile: flat arrays indexed by
+// (gpu index, log2 tp, mbs-1), with a validity mask. Queries outside the
+// table (unprofiled type, non-power-of-two TP, microbatch beyond the grid)
+// fall back to the profiler's lookup, so behaviour is unchanged — only
+// faster on the grid every search actually visits.
+type timingTable struct {
+	gpuIdx map[core.GPUType]int
+	maxMBS int
+	layer  []profiler.LayerTiming
+	head   []profiler.LayerTiming
+	valid  []bool
+}
+
+func buildTimingTable(p *profiler.Profile) *timingTable {
+	t := &timingTable{gpuIdx: map[core.GPUType]int{}}
+	if p == nil || len(p.MBSGrid) == 0 {
+		return t
+	}
+	t.maxMBS = p.MBSGrid[len(p.MBSGrid)-1]
+	gpus := make([]core.GPUType, 0, len(p.TPGrid))
+	for g := range p.TPGrid {
+		gpus = append(gpus, g)
+	}
+	for _, g := range gpus {
+		t.gpuIdx[g] = len(t.gpuIdx)
+	}
+	n := len(gpus) * tableTPSlots * t.maxMBS
+	t.layer = make([]profiler.LayerTiming, n)
+	t.head = make([]profiler.LayerTiming, n)
+	t.valid = make([]bool, n)
+	for g, gi := range t.gpuIdx {
+		for _, tp := range p.TPGrid[g] {
+			slot := tpSlot(tp)
+			if slot < 0 {
+				continue
+			}
+			for mbs := 1; mbs <= t.maxMBS; mbs++ {
+				lt, err := p.LayerTimingFor(g, mbs, tp)
+				if err != nil {
+					continue
+				}
+				ht, err := p.HeadTimingFor(g, mbs, tp)
+				if err != nil {
+					continue
+				}
+				i := (gi*tableTPSlots+slot)*t.maxMBS + mbs - 1
+				t.layer[i], t.head[i], t.valid[i] = lt, ht, true
+			}
+		}
+	}
+	return t
+}
+
+// tpSlot maps a power-of-two TP degree to its table slot, or -1.
+func tpSlot(tp int) int {
+	if tp <= 0 || tp&(tp-1) != 0 {
+		return -1
+	}
+	s := bits.TrailingZeros(uint(tp))
+	if s >= tableTPSlots {
+		return -1
+	}
+	return s
+}
+
+// lookup returns the (layer, head) timings for a key, or ok=false when the
+// key is off-table.
+func (t *timingTable) lookup(g core.GPUType, mbs, tp int) (profiler.LayerTiming, profiler.LayerTiming, bool) {
+	gi, ok := t.gpuIdx[g]
+	if !ok || mbs < 1 || mbs > t.maxMBS {
+		return profiler.LayerTiming{}, profiler.LayerTiming{}, false
+	}
+	slot := tpSlot(tp)
+	if slot < 0 {
+		return profiler.LayerTiming{}, profiler.LayerTiming{}, false
+	}
+	i := (gi*tableTPSlots+slot)*t.maxMBS + mbs - 1
+	if !t.valid[i] {
+		return profiler.LayerTiming{}, profiler.LayerTiming{}, false
+	}
+	return t.layer[i], t.head[i], true
+}
+
+// timings returns the dense table, building it on first use. Racing
+// builders construct identical tables; the first store wins.
+func (s *Simulator) timings() *timingTable {
+	if t := s.tbl.Load(); t != nil {
+		return t
+	}
+	t := buildTimingTable(s.Prof)
+	s.tbl.CompareAndSwap(nil, t)
+	return s.tbl.Load()
+}
+
+// layerTiming resolves one per-block timing through the table with the
+// profiler's lookup as the off-table fallback.
+func (s *Simulator) layerTiming(g core.GPUType, mbs, tp int) (profiler.LayerTiming, error) {
+	if lt, _, ok := s.timings().lookup(g, mbs, tp); ok {
+		return lt, nil
+	}
+	return s.Prof.LayerTimingFor(g, mbs, tp)
+}
+
+// headTiming is layerTiming for the output head.
+func (s *Simulator) headTiming(g core.GPUType, mbs, tp int) (profiler.LayerTiming, error) {
+	if _, ht, ok := s.timings().lookup(g, mbs, tp); ok {
+		return ht, nil
+	}
+	return s.Prof.HeadTimingFor(g, mbs, tp)
+}
+
+// estScratch is the pooled working storage of one Estimate call.
+type estScratch struct {
+	fwd, bwd, comm    []float64
+	pfwd, pbwd, pcomm []float64 // previous pipeline's vectors, for dedup
+	mk                pipeline.Scratch
+	zones             []core.Zone
+	zoneN             []int
+}
+
+var estScratchPool = sync.Pool{New: func() any { return &estScratch{} }}
+
+// sized returns a float64 slice of length n carved from buf.
+func sized(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// syncCacheKey identifies one ring all-reduce evaluation.
+type syncCacheKey struct {
+	class int8
+	dp    int32
+	bytes int64
+}
+
+// syncCache memoizes stageSyncTime's ring all-reduce evaluations — pure
+// functions of the profile's network fit, hit with the same handful of
+// (class, bytes, dp) keys for every candidate of a search.
+type syncCache struct {
+	mu sync.RWMutex
+	m  map[syncCacheKey]float64
+}
+
+func (c *syncCache) get(k syncCacheKey) (float64, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *syncCache) put(k syncCacheKey, v float64) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[syncCacheKey]float64{}
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+}

@@ -244,6 +244,11 @@ type System struct {
 	// that run to completion choose identical plans at any setting.
 	Workers int
 
+	// DisablePruning turns off the planner's bound-based pruning for
+	// ablations and perf comparisons. Pruning is exact — the chosen plan
+	// is identical either way — so leave this false outside measurements.
+	DisablePruning bool
+
 	simulator *sim.Simulator
 	gt        *groundtruth.Engine
 	// warm persists planner state across Replan calls (one cache per
@@ -255,9 +260,10 @@ type System struct {
 type Option func(*options)
 
 type options struct {
-	profSeed uint64
-	gtSeed   uint64
-	workers  int
+	profSeed  uint64
+	gtSeed    uint64
+	workers   int
+	noPruning bool
 }
 
 // WithSeed fixes the deterministic seeds of the synthetic profiler noise
@@ -269,6 +275,12 @@ func WithSeed(seed uint64) Option {
 // WithWorkers sets the planner's search parallelism (0 = runtime.NumCPU()).
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithoutBoundPruning disables the planner's exact bound-based pruning —
+// an ablation/measurement knob; plans are identical either way.
+func WithoutBoundPruning() Option {
+	return func(o *options) { o.noPruning = true }
 }
 
 // New profiles the model on every GPU type of the resource pool (§4.1) and
@@ -286,12 +298,13 @@ func New(m Model, gpus []GPUType, opts ...Option) (*System, error) {
 	gt := groundtruth.New(m)
 	gt.Seed = o.gtSeed
 	return &System{
-		Model:     m,
-		Profile:   prof,
-		Workers:   o.workers,
-		simulator: sim.New(m, prof),
-		gt:        gt,
-		warm:      planner.NewWarmCache(),
+		Model:          m,
+		Profile:        prof,
+		Workers:        o.workers,
+		DisablePruning: o.noPruning,
+		simulator:      sim.New(m, prof),
+		gt:             gt,
+		warm:           planner.NewWarmCache(),
 	}, nil
 }
 
@@ -305,10 +318,11 @@ func (s *System) workerCount() int {
 
 func (s *System) plannerOpts(obj Objective, cons Constraints, workers int) planner.Options {
 	return planner.Options{
-		Objective:   obj,
-		Constraints: cons,
-		Heuristics:  planner.AllHeuristics(),
-		Workers:     workers,
+		Objective:           obj,
+		Constraints:         cons,
+		Heuristics:          planner.AllHeuristics(),
+		Workers:             workers,
+		DisableBoundPruning: s.DisablePruning,
 	}
 }
 
