@@ -326,7 +326,7 @@ func BenchmarkServicePlanThroughput(b *testing.B) {
 			svc := sailor.NewService(sailor.ServiceConfig{Workers: 1, MaxConcurrent: maxConc})
 			for i := 0; i < tenants; i++ {
 				if err := svc.OpenJob(fmt.Sprintf("tenant-%d", i), sailor.OPT350M(),
-					[]core.GPUType{core.A100}); err != nil {
+					[]core.GPUType{core.A100}, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -345,6 +345,40 @@ func BenchmarkServicePlanThroughput(b *testing.B) {
 					}(t)
 				}
 				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkFleetRebalance measures the fleet scheduler's preemption-aware
+// replanning path: one op = the whole preemption-storm trace driven through
+// a shared ledger with N contending jobs (per-job cap 8 GPUs, fleet base
+// 4N). Jobs keep their warm caches across ops, so this tracks the warm
+// steady state of Service.Rebalance.
+func BenchmarkFleetRebalance(b *testing.B) {
+	sc, ok := trace.ScenarioByName("preemption-storm")
+	if !ok {
+		b.Fatal("preemption-storm not registered")
+	}
+	for _, jobs := range []int{4, 16} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			tr := sc.TraceWith(1, trace.ScenarioOpts{Base: 4 * jobs})
+			svc := sailor.NewService(sailor.ServiceConfig{Workers: 1})
+			for i := 0; i < jobs; i++ {
+				if err := svc.OpenJob(fmt.Sprintf("job-%d", i), sailor.OPT350M(),
+					[]core.GPUType{core.A100}, jobs-i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, _, err := experiments.DriveFleetStorm(svc, tr, 8); err != nil { // warm the caches
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.DriveFleetStorm(svc, tr, 8); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

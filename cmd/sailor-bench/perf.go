@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/profiler"
@@ -154,7 +155,7 @@ func runPerfSuite(workers int) (benchDoc, error) {
 	}
 	svc := sailor.NewService(sailor.ServiceConfig{Workers: 1, MaxConcurrent: workers})
 	for i := 0; i < tenants; i++ {
-		if err := svc.OpenJob(fmt.Sprintf("bench-%d", i), sailor.OPT350M(), []core.GPUType{core.A100}); err != nil {
+		if err := svc.OpenJob(fmt.Sprintf("bench-%d", i), sailor.OPT350M(), []core.GPUType{core.A100}, 0); err != nil {
 			return doc, err
 		}
 	}
@@ -193,6 +194,37 @@ func runPerfSuite(workers int) (benchDoc, error) {
 		}
 	})
 	doc.Benches = append(doc.Benches, row("service_plan/tenants=4", r, svcExplored, svcHits))
+
+	// Fleet scheduler: one op = the whole preemption-storm trace driven
+	// through a shared capacity ledger with N contending jobs (per-job cap
+	// 8 GPUs, fleet base 4N) — every event preempts leases in admission
+	// order and Rebalance replans the broken jobs warm in priority order.
+	for _, jobs := range []int{4, 16} {
+		fleetTrace := sc.TraceWith(1, trace.ScenarioOpts{Base: 4 * jobs})
+		fleetSvc := sailor.NewService(sailor.ServiceConfig{Workers: 1})
+		for i := 0; i < jobs; i++ {
+			if err := fleetSvc.OpenJob(fmt.Sprintf("fleet-%d", i), sailor.OPT350M(),
+				[]core.GPUType{core.A100}, jobs-i); err != nil {
+				return doc, err
+			}
+		}
+		if _, _, err := experiments.DriveFleetStorm(fleetSvc, fleetTrace, 8); err != nil { // warm the caches
+			return doc, err
+		}
+		fExplored, fHits, err := experiments.DriveFleetStorm(fleetSvc, fleetTrace, 8)
+		if err != nil {
+			return doc, err
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.DriveFleetStorm(fleetSvc, fleetTrace, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		doc.Benches = append(doc.Benches, row(fmt.Sprintf("fleet_rebalance/jobs=%d", jobs), r, fExplored, fHits))
+	}
 	return doc, nil
 }
 

@@ -24,8 +24,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 
 	"repro/internal/wire"
 	"repro/sailor"
@@ -126,7 +124,7 @@ func run(args []string, out io.Writer) error {
 	} else {
 		api = sailor.NewService(sailor.ServiceConfig{Workers: *workers})
 	}
-	if err := api.OpenJob(*job, m, gpus); err != nil {
+	if err := api.OpenJob(*job, m, gpus, 0); err != nil {
 		return err
 	}
 	// Release the job name so repeated invocations against a long-lived
@@ -187,33 +185,10 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// parseQuota wraps the shared sailor.ParseQuota with the -quota flag hint.
 func parseQuota(s string) (*sailor.Pool, []sailor.GPUType, error) {
 	if s == "" {
 		return nil, nil, fmt.Errorf("missing -quota; example: -quota us-central1-a:A100-40:16,us-central1-b:V100-16:32")
 	}
-	pool := sailor.NewPool()
-	seen := map[sailor.GPUType]bool{}
-	var gpus []sailor.GPUType
-	for _, part := range strings.Split(s, ",") {
-		fields := strings.Split(part, ":")
-		if len(fields) != 3 {
-			return nil, nil, fmt.Errorf("bad quota entry %q (want zone:gpu:count)", part)
-		}
-		zoneName := fields[0]
-		region := zoneName
-		if i := strings.LastIndex(zoneName, "-"); i > 0 {
-			region = zoneName[:i]
-		}
-		n, err := strconv.Atoi(fields[2])
-		if err != nil || n <= 0 {
-			return nil, nil, fmt.Errorf("bad count in %q", part)
-		}
-		g := sailor.GPUType(fields[1])
-		pool.Set(sailor.Zone{Region: region, Name: zoneName}, g, n)
-		if !seen[g] {
-			seen[g] = true
-			gpus = append(gpus, g)
-		}
-	}
-	return pool, gpus, nil
+	return sailor.ParseQuota(s)
 }

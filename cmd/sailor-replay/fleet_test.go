@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// fleetCases are the golden-pinned fleet replays: two scenario families,
+// multiple contending jobs each (acceptance: >=2 families x >=2 jobs).
+var fleetCases = []struct {
+	scenario string
+	jobs     int
+}{
+	{"preemption-storm", 3},
+	{"zone-outage", 2},
+}
+
+// zeroFleetClocks drops the one wall-clock field of a -fleet -json ledger:
+// each rebalance result's search time.
+func zeroFleetClocks(m map[string]any) {
+	// The search parallelism is part of the request, not the result; drop
+	// it so workers=1 and workers=8 ledgers compare byte-for-byte.
+	delete(m, "workers")
+	fl, ok := m["fleet"].(map[string]any)
+	if !ok {
+		return
+	}
+	steps, _ := fl["steps"].([]any)
+	for _, s := range steps {
+		rbs, _ := s.(map[string]any)["rebalance"].([]any)
+		for _, rb := range rbs {
+			if res, ok := rb.(map[string]any)["result"].(map[string]any); ok {
+				res["search_time_ns"] = 0.0
+			}
+		}
+	}
+}
+
+func runFleetReplay(t *testing.T, scenario string, jobs, workers int, jsonOut bool) []byte {
+	t.Helper()
+	args := []string{"-scenario", scenario, "-seed", "1", "-fleet",
+		"-jobs", fmt.Sprint(jobs), "-workers", fmt.Sprint(workers)}
+	if jsonOut {
+		args = append(args, "-json")
+	}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("%s jobs=%d workers=%d: %v", scenario, jobs, workers, err)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetJSONGolden pins the -fleet -json per-job reconfiguration ledger
+// of every fleet case (regenerate with -update).
+func TestFleetJSONGolden(t *testing.T) {
+	for _, tc := range fleetCases {
+		t.Run(tc.scenario, func(t *testing.T) {
+			out := runFleetReplay(t, tc.scenario, tc.jobs, 1, true)
+			name := fmt.Sprintf("fleet-%s.golden.json", tc.scenario)
+			testutil.CheckGolden(t, name, testutil.NormalizeJSON(t, out, zeroFleetClocks))
+		})
+	}
+}
+
+// TestFleetWorkerDeterminism is the fleet determinism acceptance: the
+// whole per-job ledger — plans, estimates, cache-hit trajectories,
+// explored counts, lease tables, preemption order — is byte-identical at
+// workers=1 and workers=8, in both output modes.
+func TestFleetWorkerDeterminism(t *testing.T) {
+	for _, tc := range fleetCases {
+		t.Run(tc.scenario, func(t *testing.T) {
+			j1 := testutil.NormalizeJSON(t, runFleetReplay(t, tc.scenario, tc.jobs, 1, true), zeroFleetClocks)
+			j8 := testutil.NormalizeJSON(t, runFleetReplay(t, tc.scenario, tc.jobs, 8, true), zeroFleetClocks)
+			if !bytes.Equal(j1, j8) {
+				t.Errorf("JSON ledger differs between workers=1 and workers=8:\n%s\nvs\n%s", j1, j8)
+			}
+			// The text ledger carries no wall-clock fields at all, so it must
+			// be byte-identical too once the workers count in the header is
+			// dropped.
+			strip := func(out []byte) string {
+				lines := strings.SplitN(string(out), "\n", 3)
+				return lines[len(lines)-1]
+			}
+			t1 := strip(runFleetReplay(t, tc.scenario, tc.jobs, 1, false))
+			t8 := strip(runFleetReplay(t, tc.scenario, tc.jobs, 8, false))
+			if t1 != t8 {
+				t.Errorf("text ledger differs between workers=1 and workers=8:\n%s\nvs\n%s", t1, t8)
+			}
+		})
+	}
+}
+
+// TestFleetLedgerShape sanity-checks the JSON document: admission order is
+// job-0 first, a preemption appears somewhere, leased GPUs never exceed
+// capacity (the harness already asserts the ledger invariant per step).
+func TestFleetLedgerShape(t *testing.T) {
+	out := runFleetReplay(t, "preemption-storm", 3, 1, true)
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	fl := doc["fleet"].(map[string]any)
+	if got := fl["jobs"].(float64); got != 3 {
+		t.Errorf("jobs = %v, want 3", got)
+	}
+	steps := fl["steps"].([]any)
+	if len(steps) < 5 {
+		t.Fatalf("only %d steps", len(steps))
+	}
+	preempted := false
+	for _, s := range steps {
+		st := s.(map[string]any)
+		if b, ok := st["broken"].([]any); ok && len(b) > 0 {
+			preempted = true
+		}
+		cap := st["capacity_gpus"].(float64)
+		free := st["free_gpus"].(float64)
+		leased := 0.0
+		if ls, ok := st["leases"].([]any); ok {
+			for _, l := range ls {
+				leased += l.(map[string]any)["gpus"].(float64)
+			}
+		}
+		if leased != cap-free {
+			t.Errorf("step %v: leases %v != capacity %v - free %v", st["at_seconds"], leased, cap, free)
+		}
+	}
+	if !preempted {
+		t.Error("preemption-storm fleet replay never preempted a lease")
+	}
+	first := steps[0].(map[string]any)["rebalance"].([]any)[0].(map[string]any)
+	if first["job"] != "job-0" {
+		t.Errorf("first rebalance step = %v, want job-0 (highest priority)", first["job"])
+	}
+}
+
+// TestFleetFlagValidation: -fleet mode rejects nonsense combinations.
+func TestFleetFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "zone-outage", "-fleet", "-server", "x:1"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "-fleet runs in-process") {
+		t.Errorf("-fleet -server = %v, want error", err)
+	}
+	if err := run([]string{"-scenario", "zone-outage", "-fleet", "-jobs", "0"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "-jobs") {
+		t.Errorf("-jobs 0 = %v, want error", err)
+	}
+}

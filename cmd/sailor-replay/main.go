@@ -5,8 +5,12 @@
 // In-process (default) it replays the scenario through the elastic
 // controller. With -server it drives a sailor-serve daemon instead: every
 // distinct availability snapshot becomes a plan/replan request, exercising
-// the §5.5 control-plane loop over the wire. -json emits the versioned
-// wire-schema ledger in either mode.
+// the §5.5 control-plane loop over the wire. With -fleet it drives N
+// contending jobs through one shared cluster-state ledger: every event
+// step mutates the fleet, preempts leases in deterministic admission
+// order, and rebalances the broken jobs warm, printing the per-job
+// reconfiguration ledger. -json emits the versioned wire-schema ledger in
+// every mode.
 //
 // Usage:
 //
@@ -14,6 +18,7 @@
 //	sailor-replay -scenario preemption-storm
 //	sailor-replay -scenario zone-outage -seed 7 -model gptneo27b -base 16
 //	sailor-replay -scenario preemption-storm -server 127.0.0.1:7477 -json
+//	sailor-replay -scenario preemption-storm -fleet -jobs 3
 package main
 
 import (
@@ -42,7 +47,8 @@ func main() {
 
 // replayOutput is the -json ledger: versioned, built on the wire codec.
 // Local (controller) replays carry Report; -server replays carry Steps,
-// one planner result per distinct availability snapshot.
+// one planner result per distinct availability snapshot; -fleet replays
+// carry Fleet, the per-job reconfiguration ledger.
 type replayOutput struct {
 	V              int               `json:"v"`
 	Scenario       string            `json:"scenario"`
@@ -55,6 +61,35 @@ type replayOutput struct {
 	Server         string            `json:"server,omitempty"`
 	Report         *wire.Report      `json:"report,omitempty"`
 	Steps          []wire.PlanResult `json:"steps,omitempty"`
+	Fleet          *fleetDoc         `json:"fleet,omitempty"`
+}
+
+// fleetDoc is the -fleet -json ledger: one entry per event timestamp.
+type fleetDoc struct {
+	Jobs       int         `json:"jobs"`
+	JobCapGPUs int         `json:"job_cap_gpus"`
+	Steps      []fleetStep `json:"steps"`
+}
+
+// fleetStep is one event timestamp of a fleet replay: the availability
+// events applied, the leases they broke, the rebalance outcomes, and the
+// resulting lease table.
+type fleetStep struct {
+	AtSeconds    float64              `json:"at_seconds"`
+	Events       int                  `json:"events"`
+	CapacityGPUs int                  `json:"capacity_gpus"`
+	FreeGPUs     int                  `json:"free_gpus"`
+	Broken       []string             `json:"broken,omitempty"`
+	Rebalance    []wire.RebalanceStep `json:"rebalance"`
+	Leases       []leaseRow           `json:"leases"`
+}
+
+// leaseRow is the compact per-job lease table entry of the fleet ledger
+// output (the full plans already appear in the rebalance results).
+type leaseRow struct {
+	Job      string `json:"job"`
+	Priority int    `json:"priority"`
+	GPUs     int    `json:"gpus"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -68,6 +103,9 @@ func run(args []string, out io.Writer) error {
 	base := fs.Int("base", 0, "override the scenario base GPU count (0 = scenario default)")
 	server := fs.String("server", "", "drive a sailor-serve daemon at host:port instead of the in-process controller")
 	job := fs.String("job", "sailor-replay", "job name to open on the service (with -server)")
+	fleetMode := fs.Bool("fleet", false, "drive N contending jobs through one shared cluster-state ledger")
+	jobs := fs.Int("jobs", 2, "number of contending jobs (with -fleet)")
+	fleetCap := fs.Int("fleet-cap", 0, "per-job lease bound in GPUs (with -fleet; 0 = auto: half the scenario base, negative = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the versioned wire-schema JSON ledger instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +142,43 @@ func run(args []string, out io.Writer) error {
 		Events:         len(tr.Events),
 		Workers:        *workers,
 		Server:         *server,
+	}
+
+	if *fleetMode {
+		if *server != "" {
+			return fmt.Errorf("-fleet runs in-process; drop -server")
+		}
+		if *jobs < 1 {
+			return fmt.Errorf("-jobs must be >= 1")
+		}
+		cap := *fleetCap
+		if cap == 0 {
+			effBase := *base
+			if effBase <= 0 {
+				effBase = sc.Defaults.Base
+			}
+			cap = effBase / 2
+			if cap < 1 {
+				cap = 1
+			}
+		} else if cap < 0 {
+			cap = 0
+		}
+		fd, err := replayFleet(m, sc, tr, *jobs, cap, *workers)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			doc.Fleet = fd
+			return writeJSON(out, doc)
+		}
+		fmt.Fprintf(out, "scenario:  %s — %s\n", sc.Name, sc.Description)
+		fmt.Fprintf(out, "model:     %s   seed: %d   horizon: %s   events: %d   workers: %d\n",
+			m.Name, *seed, tr.Horizon, len(tr.Events), *workers)
+		fmt.Fprintf(out, "fleet:     %d jobs, per-job cap %d GPUs\n", fd.Jobs, fd.JobCapGPUs)
+		fmt.Fprintln(out)
+		writeFleetLedger(out, fd)
+		return nil
 	}
 
 	if *server != "" {
@@ -171,7 +246,7 @@ func replayViaServer(addr, job string, m sailor.Model, sc sailor.Scenario, tr *s
 		return nil, err
 	}
 	defer c.Close()
-	if err := c.OpenJob(job, m, sc.GPUs); err != nil {
+	if err := c.OpenJob(job, m, sc.GPUs, 0); err != nil {
 		return nil, err
 	}
 	defer c.CloseJob(job)
@@ -191,6 +266,97 @@ func replayViaServer(addr, job string, m sailor.Model, sc sailor.Scenario, tr *s
 		prev = res.Plan
 	}
 	return steps, nil
+}
+
+// replayFleet drives a scenario trace through one shared cluster-state
+// ledger contended by `jobs` jobs (job-0 has the highest priority). Every
+// event timestamp becomes one step: the events mutate the fleet, the
+// ledger evicts the leases they broke in deterministic admission order,
+// and Rebalance replans every leaseless job — warm where it deployed
+// before — in priority order. The safety invariant (leased capacity never
+// exceeds fleet capacity) is asserted after every step.
+func replayFleet(m sailor.Model, sc sailor.Scenario, tr *sailor.Trace, jobs, cap, workers int) (*fleetDoc, error) {
+	ledger := sailor.NewLedger(sailor.NewPool())
+	ledger.SetJobCap(cap)
+	svc := sailor.NewService(sailor.ServiceConfig{Workers: workers, Fleet: ledger})
+	for i := 0; i < jobs; i++ {
+		if err := svc.OpenJob(fmt.Sprintf("job-%d", i), m, sc.GPUs, jobs-i); err != nil {
+			return nil, err
+		}
+	}
+	ctx := context.Background()
+	fd := &fleetDoc{Jobs: jobs, JobCapGPUs: cap}
+	events := tr.Events
+	for i := 0; i < len(events); {
+		at := events[i].At
+		step := fleetStep{AtSeconds: at.Seconds()}
+		for ; i < len(events) && events[i].At == at; i++ {
+			broken, err := svc.FleetEvent(events[i])
+			if err != nil {
+				return nil, err
+			}
+			step.Events++
+			for _, b := range broken {
+				step.Broken = append(step.Broken, b.Job)
+			}
+		}
+		rsteps, err := svc.Rebalance(ctx)
+		if err != nil {
+			return nil, err
+		}
+		step.Rebalance = rsteps
+		if err := ledger.CheckInvariant(); err != nil {
+			return nil, fmt.Errorf("after step t+%s: %w", at, err)
+		}
+		st, err := svc.FleetStats()
+		if err != nil {
+			return nil, err
+		}
+		if st.LeasedGPUs > st.CapacityGPUs {
+			return nil, fmt.Errorf("after step t+%s: leased %d GPUs exceed fleet capacity %d",
+				at, st.LeasedGPUs, st.CapacityGPUs)
+		}
+		step.CapacityGPUs, step.FreeGPUs = st.CapacityGPUs, st.FreeGPUs
+		for _, le := range st.Leases {
+			step.Leases = append(step.Leases, leaseRow{Job: le.Job, Priority: le.Priority, GPUs: le.GPUs})
+		}
+		fd.Steps = append(fd.Steps, step)
+	}
+	return fd, nil
+}
+
+// writeFleetLedger renders the per-job reconfiguration ledger of a fleet
+// replay. Only wall-clock-free fields are printed, so the output is
+// byte-identical at any worker count.
+func writeFleetLedger(w io.Writer, fd *fleetDoc) {
+	fmt.Fprintln(w, "fleet reconfiguration ledger:")
+	for i, s := range fd.Steps {
+		fmt.Fprintf(w, "step %3d  t+%-9s events=%d  capacity=%d free=%d",
+			i, time.Duration(s.AtSeconds*float64(time.Second)).Round(time.Second), s.Events,
+			s.CapacityGPUs, s.FreeGPUs)
+		if len(s.Broken) > 0 {
+			fmt.Fprintf(w, "  preempted=%s", strings.Join(s.Broken, ","))
+		}
+		fmt.Fprintln(w)
+		for _, r := range s.Rebalance {
+			switch r.Action {
+			case "wait":
+				fmt.Fprintf(w, "  %-8s %-7s %s\n", r.Job, r.Action, r.Error)
+			default:
+				res := r.Result
+				fmt.Fprintf(w, "  %-8s %-7s gpus=%-3d hits=%-5d explored=%-6d %s\n",
+					r.Job, r.Action, res.Plan.Core().GPUCount(), res.CacheHits, res.Explored,
+					res.Plan.Core())
+			}
+		}
+		if len(s.Leases) > 0 {
+			parts := make([]string, len(s.Leases))
+			for j, le := range s.Leases {
+				parts[j] = fmt.Sprintf("%s:%d", le.Job, le.GPUs)
+			}
+			fmt.Fprintf(w, "  leases:  %s\n", strings.Join(parts, "  "))
+		}
+	}
 }
 
 func printScenarios(w io.Writer) {

@@ -8,7 +8,13 @@
 //
 //	sailor-serve                              # listen on 127.0.0.1:7477
 //	sailor-serve -addr :7477 -max-concurrent 8 -cache 32
+//	sailor-serve -fleet us-central1-a:A100-40:64 -fleet-cap 16   # fleet mode
 //	sailor-plan -server 127.0.0.1:7477 -model opt350m -quota zone:A100-40:16
+//
+// With -fleet the daemon arbitrates one shared capacity ledger across all
+// tenants: plans lease GPUs from the fleet's free view (per-job priority,
+// optional -fleet-cap fair-share bound), availability events and rebalances
+// arrive over the wire, and FleetStats exposes the per-job lease table.
 //
 // Shutdown is graceful: SIGINT/SIGTERM drains in-flight requests before
 // the process exits; queued client calls fail with a typed error.
@@ -51,22 +57,36 @@ func start(args []string, out io.Writer) (*sailor.Server, error) {
 	maxConcurrent := fs.Int("max-concurrent", runtime.NumCPU(), "planner searches running at once across all tenants")
 	cache := fs.Int("cache", 16, "profiled systems kept in the shared LRU")
 	seed := fs.Uint64("seed", 1, "profiling seed for every system the daemon builds")
+	fleetQuota := fs.String("fleet", "", "fleet mode: shared capacity ledger over this quota (zone:gpu:count,...)")
+	fleetCap := fs.Int("fleet-cap", 0, "fleet mode: per-job lease bound in GPUs (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	cfg := sailor.ServiceConfig{
+		Workers:         *workers,
+		MaxConcurrent:   *maxConcurrent,
+		SystemCacheSize: *cache,
+		Seed:            *seed,
+	}
+	if *fleetQuota != "" {
+		pool, _, err := sailor.ParseQuota(*fleetQuota)
+		if err != nil {
+			return nil, fmt.Errorf("-fleet: %w", err)
+		}
+		cfg.Fleet = sailor.NewLedger(pool)
+		cfg.Fleet.SetJobCap(*fleetCap)
 	}
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return nil, err
 	}
-	svc := sailor.NewService(sailor.ServiceConfig{
-		Workers:         *workers,
-		MaxConcurrent:   *maxConcurrent,
-		SystemCacheSize: *cache,
-		Seed:            *seed,
-	})
-	srv := sailor.NewServer(lis, svc)
+	srv := sailor.NewServer(lis, sailor.NewService(cfg))
 	go srv.Serve()
 	fmt.Fprintf(out, "listening on %s (wire schema v%d, workers=%d, max-concurrent=%d, cache=%d)\n",
 		srv.Addr(), sailor.WireVersion, *workers, *maxConcurrent, *cache)
+	if cfg.Fleet != nil {
+		fmt.Fprintf(out, "fleet mode: %d GPUs shared, per-job cap %d\n",
+			cfg.Fleet.Capacity().TotalGPUs(), cfg.Fleet.JobCap())
+	}
 	return srv, nil
 }

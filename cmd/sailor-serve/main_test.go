@@ -47,7 +47,7 @@ func TestServeEndToEnd(t *testing.T) {
 			}
 			defer c.Close()
 			job := []string{"tenant-a", "tenant-b"}[g]
-			if err := c.OpenJob(job, sailor.OPT350M(), sc.GPUs); err != nil {
+			if err := c.OpenJob(job, sailor.OPT350M(), sc.GPUs, 0); err != nil {
 				t.Error(err)
 				return
 			}
@@ -92,6 +92,79 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeFleetEndToEnd drives fleet mode over the wire: a daemon started
+// with -fleet arbitrates one shared ledger across two tenants — priority
+// admission, an availability event preempting the low-priority lease, and
+// a warm rebalance once capacity returns.
+func TestServeFleetEndToEnd(t *testing.T) {
+	var banner strings.Builder
+	srv, err := start([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+		"-fleet", "us-central1-a:A100-40:16", "-fleet-cap", "8"}, &banner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(banner.String(), "fleet mode: 16 GPUs shared, per-job cap 8") {
+		t.Errorf("start banner = %q", banner.String())
+	}
+	c, err := sailor.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.OpenJob("hi", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OpenJob("lo", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 1); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := c.Rebalance(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[0].Job != "hi" || steps[0].Action != "admit" ||
+		steps[1].Job != "lo" || steps[1].Action != "admit" {
+		t.Fatalf("admission steps = %+v, want hi then lo admitted", steps)
+	}
+	st, err := c.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Leases) != 2 || st.JobCapGPUs != 8 || st.LeasedGPUs > st.CapacityGPUs {
+		t.Fatalf("fleet stats = %+v, want two capped leases within capacity", st)
+	}
+	zone := sailor.GCPZone("us-central1", 'a')
+	broken, err := c.FleetEvent(sailor.TraceEvent{Zone: zone, GPU: sailor.A100, Delta: -8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 1 || broken[0].Job != "lo" {
+		t.Fatalf("broken = %+v, want exactly lo preempted", broken)
+	}
+	if _, err := c.FleetEvent(sailor.TraceEvent{Zone: zone, GPU: sailor.A100, Delta: 8}); err != nil {
+		t.Fatal(err)
+	}
+	steps, err = c.Rebalance(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0].Job != "lo" || steps[0].Action != "replan" || steps[0].Result == nil {
+		t.Fatalf("recovery steps = %+v, want lo replanned warm", steps)
+	}
+	for _, job := range []string{"hi", "lo"} {
+		if err := c.CloseJob(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err = c.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Leases) != 0 || st.FreeGPUs != st.CapacityGPUs {
+		t.Errorf("stats after closing all jobs = %+v, want empty lease table", st)
+	}
+}
+
 // TestStartBadFlags: flag and listen errors surface instead of crashing.
 func TestStartBadFlags(t *testing.T) {
 	var out strings.Builder
@@ -100,5 +173,9 @@ func TestStartBadFlags(t *testing.T) {
 	}
 	if _, err := start([]string{"-nope"}, &out); err == nil {
 		t.Error("unknown flag must fail")
+	}
+	if _, err := start([]string{"-fleet", "not-a-quota"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-fleet") {
+		t.Errorf("bad -fleet quota = %v, want parse error", err)
 	}
 }

@@ -37,7 +37,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer c.Close()
-		if err := c.OpenJob(tenant, sailor.OPT350M(), []sailor.GPUType{sailor.A100}); err != nil {
+		if err := c.OpenJob(tenant, sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 0); err != nil {
 			log.Fatal(err)
 		}
 		res, err := c.Plan(context.Background(), tenant, before, sailor.MaxThroughput, sailor.Constraints{})

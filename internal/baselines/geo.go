@@ -230,10 +230,3 @@ func (a *Aceso) Rank(pool *cluster.Pool) (Ranking, error) {
 	}
 	return Ranking{Candidates: rankCandidates(cands), SearchTime: time.Since(start)}, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -432,10 +432,3 @@ func (f *FlashFlex) balancedPlan(t vmTopology, types []core.GPUType, pp, tp, mbs
 	}
 	return plan, true
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -171,14 +171,29 @@ func (p *Pool) CanFit(plan core.Plan) bool {
 	return true
 }
 
-// Subtract removes a plan's GPU demand from the pool. It returns an error if
-// the plan does not fit.
+// Subtract removes a plan's GPU demand from the pool. It returns an error
+// naming the first deficient cell (in zone-then-GPU order, so the message
+// is deterministic) when the plan does not fit, leaving the pool untouched.
 func (p *Pool) Subtract(plan core.Plan) error {
-	if !p.CanFit(plan) {
-		return fmt.Errorf("cluster: plan demands more GPUs than available")
+	need := planDemand(plan)
+	keys := make([]demandKey, 0, len(need))
+	for k := range need {
+		keys = append(keys, k)
 	}
-	for k, n := range planDemand(plan) {
-		p.Add(k.z, k.g, -n)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].z.Name != keys[j].z.Name {
+			return keys[i].z.Name < keys[j].z.Name
+		}
+		return keys[i].g < keys[j].g
+	})
+	for _, k := range keys {
+		if have := p.Available(k.z, k.g); have < need[k] {
+			return fmt.Errorf("cluster: plan needs %d %s in %s, only %d available",
+				need[k], k.g, k.z.Name, have)
+		}
+	}
+	for _, k := range keys {
+		p.Add(k.z, k.g, -need[k])
 	}
 	return nil
 }
@@ -196,6 +211,25 @@ func planDemand(plan core.Plan) map[demandKey]int {
 		}
 	}
 	return need
+}
+
+// CapTotal returns a copy of the pool truncated to at most n GPUs in
+// total, filling cells in the canonical Entries order (zone name then GPU
+// type), so equal pools truncate identically. n <= 0 returns an empty pool.
+func (p *Pool) CapTotal(n int) *Pool {
+	q := NewPool()
+	for _, e := range p.Entries() {
+		if n <= 0 {
+			break
+		}
+		take := e.Count
+		if take > n {
+			take = n
+		}
+		q.Set(e.Zone, e.GPU, take)
+		n -= take
+	}
+	return q
 }
 
 // ConsolidateRegions merges all zones of each region into one synthetic

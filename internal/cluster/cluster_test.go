@@ -95,6 +95,51 @@ func TestCanFitAndSubtract(t *testing.T) {
 	}
 }
 
+// TestSubtractErrorPaths: over-subtraction and demand in zones/types the
+// pool has never seen fail with a message naming the deficient cell, and a
+// failed Subtract leaves the pool untouched.
+func TestSubtractErrorPaths(t *testing.T) {
+	za := GCPZone("us-central1", 'a')
+	zb := GCPZone("us-central1", 'b')
+	p := NewPool().Set(za, core.A100, 8)
+
+	over := onePlan(za, 3, 4) // 12 GPUs > 8
+	if err := p.Subtract(over); err == nil || !strings.Contains(err.Error(), "us-central1-a") ||
+		!strings.Contains(err.Error(), "12") {
+		t.Errorf("over-subtraction error = %v, want cell and demand named", err)
+	}
+	unknownZone := onePlan(zb, 1, 4)
+	if err := p.Subtract(unknownZone); err == nil || !strings.Contains(err.Error(), "us-central1-b") {
+		t.Errorf("unknown-zone error = %v, want zone named", err)
+	}
+	unknownType := core.Plan{MicroBatchSize: 1, Stages: []core.StagePlan{{
+		FirstLayer: 0, NumLayers: 24,
+		Replicas: []core.StageReplica{{GPU: core.H100, TP: 2, Zone: za}},
+	}}}
+	if err := p.Subtract(unknownType); err == nil || !strings.Contains(err.Error(), string(core.H100)) {
+		t.Errorf("unknown-type error = %v, want GPU type named", err)
+	}
+	// Three failed subtractions must not have touched the pool.
+	if got := p.Available(za, core.A100); got != 8 {
+		t.Errorf("failed Subtract mutated the pool: %d, want 8", got)
+	}
+	// A mixed plan that fits one cell but not the other fails atomically.
+	p.Set(zb, core.V100, 2)
+	mixed := core.Plan{MicroBatchSize: 1, Stages: []core.StagePlan{{
+		FirstLayer: 0, NumLayers: 24,
+		Replicas: []core.StageReplica{
+			{GPU: core.A100, TP: 4, Zone: za},
+			{GPU: core.V100, TP: 4, Zone: zb}, // needs 4, only 2 there
+		},
+	}}}
+	if err := p.Subtract(mixed); err == nil {
+		t.Fatal("partially-fitting plan must fail")
+	}
+	if p.Available(za, core.A100) != 8 || p.Available(zb, core.V100) != 2 {
+		t.Error("failed mixed Subtract must leave every cell untouched")
+	}
+}
+
 func TestConsolidateRegions(t *testing.T) {
 	za := GCPZone("us-central1", 'a')
 	zb := GCPZone("us-central1", 'b')

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzPoolCanFitSubtract is the CanFit/Subtract consistency property the
+// fleet ledger's safety invariant rests on: for any pool and any plan,
+// CanFit(plan) == true implies Subtract(plan) succeeds, a successful
+// Subtract removes exactly the plan's demand, and a failed one leaves the
+// pool byte-identical.
+func FuzzPoolCanFitSubtract(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint8(2), uint8(2), uint8(1), uint8(4))
+	f.Add(uint8(0), uint8(0), uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(16), uint8(16), uint8(3), uint8(4), uint8(2), uint8(2))
+	f.Add(uint8(3), uint8(200), uint8(1), uint8(8), uint8(4), uint8(1))
+	f.Fuzz(func(t *testing.T, availA, availB, stages, reps, tp, zonePick uint8) {
+		za := GCPZone("us-central1", 'a')
+		zb := GCPZone("us-central1", 'b')
+		pool := NewPool().Set(za, core.A100, int(availA)%64).Set(zb, core.V100, int(availB)%64)
+
+		nStages := 1 + int(stages)%3
+		nReps := 1 + int(reps)%8
+		nTP := 1 + int(tp)%8
+		plan := core.Plan{MicroBatchSize: 1}
+		for s := 0; s < nStages; s++ {
+			st := core.StagePlan{FirstLayer: s * 4, NumLayers: 4}
+			for r := 0; r < nReps; r++ {
+				z, g := za, core.A100
+				if (int(zonePick)+s+r)%2 == 1 {
+					z, g = zb, core.V100
+				}
+				st.Replicas = append(st.Replicas, core.StageReplica{GPU: g, TP: nTP, Zone: z})
+			}
+			plan.Stages = append(plan.Stages, st)
+		}
+
+		before := pool.String()
+		fits := pool.CanFit(plan)
+		err := pool.Subtract(plan)
+		if fits && err != nil {
+			t.Fatalf("CanFit=true but Subtract failed: %v\npool:\n%s\nplan: %v", err, before, plan)
+		}
+		if !fits && err == nil {
+			t.Fatalf("CanFit=false but Subtract succeeded\npool:\n%s\nplan: %v", before, plan)
+		}
+		if err != nil {
+			if pool.String() != before {
+				t.Fatalf("failed Subtract mutated the pool:\nbefore:\n%s\nafter:\n%s", before, pool)
+			}
+			return
+		}
+		// Success: every cell dropped by exactly the plan's demand there.
+		demand := map[[2]string]int{}
+		for _, st := range plan.Stages {
+			for _, r := range st.Replicas {
+				demand[[2]string{r.Zone.Name, string(r.GPU)}] += r.GPUCount()
+			}
+		}
+		check := func(z core.Zone, g core.GPUType, had int) {
+			want := had - demand[[2]string{z.Name, string(g)}]
+			if got := pool.Available(z, g); got != want {
+				t.Fatalf("cell (%s,%s) = %d after Subtract, want %d", z.Name, g, got, want)
+			}
+		}
+		check(za, core.A100, int(availA)%64)
+		check(zb, core.V100, int(availB)%64)
+	})
+}

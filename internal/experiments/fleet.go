@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+	"repro/sailor"
+)
+
+// DriveFleetStorm is the shared "one op" of the fleet-rebalance benchmarks
+// (BenchmarkFleetRebalance and the fleet_rebalance rows of
+// BENCH_planner.json): reset the service's fleet ledger to an empty pool
+// with the given per-job cap, then replay the trace through it — every
+// event mutates the fleet and a Rebalance pass replans the broken and
+// waiting jobs warm in priority order. Returns the accumulated planner
+// telemetry. Jobs keep their warm caches across calls, so repeated drives
+// measure the warm steady state of Service.Rebalance.
+func DriveFleetStorm(svc *sailor.Service, tr *trace.Trace, jobCap int) (explored, hits int, err error) {
+	if err := svc.SetFleet(cluster.NewPool(), jobCap); err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+	for _, ev := range tr.Events {
+		if _, err := svc.FleetEvent(ev); err != nil {
+			return 0, 0, err
+		}
+		steps, err := svc.Rebalance(ctx)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, s := range steps {
+			if s.Result != nil {
+				explored += s.Result.Explored
+				hits += s.Result.CacheHits
+			}
+		}
+	}
+	return explored, hits, nil
+}

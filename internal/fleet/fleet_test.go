@@ -1,0 +1,371 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+var (
+	zoneA = cluster.GCPZone("us-central1", 'a')
+	zoneB = cluster.GCPZone("us-central1", 'b')
+)
+
+// flatPlan builds a one-stage plan of n replicas of tp GPUs each in z.
+func flatPlan(z core.Zone, g core.GPUType, n, tp int) core.Plan {
+	reps := make([]core.StageReplica, n)
+	for i := range reps {
+		reps[i] = core.StageReplica{GPU: g, TP: tp, Zone: z}
+	}
+	return core.Plan{MicroBatchSize: 1, Stages: []core.StagePlan{
+		{FirstLayer: 0, NumLayers: 24, Replicas: reps},
+	}}
+}
+
+func TestLedgerAcquireReleaseFreeView(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 16))
+	if v := l.Version(); v != 0 {
+		t.Errorf("fresh ledger version = %d, want 0", v)
+	}
+	if err := l.Acquire("a", 1, flatPlan(zoneA, core.A100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FreeView().TotalGPUs(); got != 8 {
+		t.Errorf("free after 8-GPU lease = %d, want 8", got)
+	}
+	// A second lease for the same job must be a Resize, not an Acquire.
+	if err := l.Acquire("a", 1, flatPlan(zoneA, core.A100, 1, 4)); err == nil {
+		t.Error("double Acquire must fail")
+	}
+	// The remaining 8 GPUs admit job b but not a 12-GPU plan.
+	if err := l.Acquire("b", 1, flatPlan(zoneA, core.A100, 3, 4)); !errors.Is(err, ErrConflict) {
+		t.Errorf("oversized acquire = %v, want ErrConflict", err)
+	}
+	if err := l.Acquire("b", 1, flatPlan(zoneA, core.A100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FreeView().TotalGPUs(); got != 0 {
+		t.Errorf("free after both leases = %d, want 0", got)
+	}
+	// ViewFor offers the job its own capacity back.
+	if got := l.ViewFor("a").TotalGPUs(); got != 8 {
+		t.Errorf("ViewFor(a) = %d GPUs, want 8", got)
+	}
+	if !l.Release("a") {
+		t.Error("Release(a) = false, want true")
+	}
+	if l.Release("a") {
+		t.Error("double Release must report false")
+	}
+	if !l.Held("b") || l.Held("a") {
+		t.Error("Held bookkeeping wrong after release")
+	}
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseIf: compare-and-release only drops the exact grant it names —
+// a stale holder can never release a newer lease installed under the same
+// job name (the CloseJob/reopen race in sailor.Service.planFleet).
+func TestReleaseIf(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 16))
+	stale, err := l.Install("a", 1, flatPlan(zoneA, core.A100, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job is closed and reopened: a newer incarnation installs again.
+	fresh, err := l.Install("a", 2, flatPlan(zoneA, core.A100, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale == fresh {
+		t.Fatal("two grants must have distinct versions")
+	}
+	if l.ReleaseIf("a", stale) {
+		t.Error("stale grant version must not release the newer lease")
+	}
+	if !l.Held("a") {
+		t.Fatal("newer lease must survive the stale compare-and-release")
+	}
+	if !l.ReleaseIf("a", fresh) {
+		t.Error("current grant version must release")
+	}
+	if l.ReleaseIf("a", fresh) {
+		t.Error("ReleaseIf on a gone lease must report false")
+	}
+}
+
+func TestLedgerResize(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 16))
+	if err := l.Resize("a", flatPlan(zoneA, core.A100, 1, 4)); err == nil {
+		t.Error("Resize without a lease must fail")
+	}
+	if err := l.Acquire("a", 7, flatPlan(zoneA, core.A100, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Growing within the fleet works because the job's own 12 GPUs count as
+	// free for its resize.
+	if err := l.Resize("a", flatPlan(zoneA, core.A100, 4, 4)); err != nil {
+		t.Fatalf("grow-in-place resize: %v", err)
+	}
+	snap := l.Snapshot()
+	if len(snap.Leases) != 1 || snap.Leases[0].GPUs() != 16 || snap.Leases[0].Priority != 7 {
+		t.Errorf("lease after resize = %+v, want 16 GPUs at priority 7", snap.Leases)
+	}
+	if err := l.Resize("a", flatPlan(zoneA, core.A100, 5, 4)); !errors.Is(err, ErrConflict) {
+		t.Errorf("oversized resize = %v, want ErrConflict", err)
+	}
+	// A failed resize leaves the old lease untouched.
+	if got := l.Snapshot().Leases[0].GPUs(); got != 16 {
+		t.Errorf("lease after failed resize = %d GPUs, want 16", got)
+	}
+}
+
+// TestJobCap: the fair-share cap bounds views and grants, and tightening
+// it evicts oversized leases like a capacity loss would.
+func TestJobCap(t *testing.T) {
+	l := NewLedger(nil) // nil capacity is a usable empty fleet
+	if got := l.Capacity().TotalGPUs(); got != 0 {
+		t.Fatalf("nil-pool ledger capacity = %d, want 0", got)
+	}
+	l.Apply(trace.Event{Zone: zoneA, GPU: core.A100, Delta: 16})
+	if broken := l.SetJobCap(6); broken != nil {
+		t.Errorf("capping an empty ledger broke leases: %+v", broken)
+	}
+	if got := l.JobCap(); got != 6 {
+		t.Errorf("JobCap = %d, want 6", got)
+	}
+	// Views truncate to the cap; grants beyond it are refused outright.
+	if got := l.ViewFor("a").TotalGPUs(); got != 6 {
+		t.Errorf("capped ViewFor = %d GPUs, want 6", got)
+	}
+	if err := l.Acquire("a", 1, flatPlan(zoneA, core.A100, 2, 4)); err == nil {
+		t.Error("8-GPU plan above the 6-GPU cap must be refused")
+	}
+	if err := l.Acquire("a", 1, flatPlan(zoneA, core.A100, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire("b", 2, flatPlan(zoneA, core.A100, 1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// Tightening the cap evicts the now-oversized lease (b, 6 GPUs) and
+	// keeps the conforming one.
+	broken := l.SetJobCap(4)
+	if len(broken) != 1 || broken[0].Job != "b" {
+		t.Fatalf("tightened cap broke %+v, want exactly b", broken)
+	}
+	if !l.Held("a") {
+		t.Error("conforming lease must survive a cap change")
+	}
+	// Removing the cap restores the full view.
+	l.SetJobCap(0)
+	if got := l.ViewFor("x").TotalGPUs(); got != 12 {
+		t.Errorf("uncapped ViewFor = %d GPUs, want 12 free", got)
+	}
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerRejectsBadGrants(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 8))
+	if err := l.Acquire("", 1, flatPlan(zoneA, core.A100, 1, 4)); err == nil {
+		t.Error("empty job name must fail")
+	}
+	if err := l.Acquire("a", 1, core.Plan{}); err == nil {
+		t.Error("empty plan must fail")
+	}
+	if _, err := l.Install("a", 1, flatPlan(zoneB, core.V100, 1, 4)); !errors.Is(err, ErrConflict) {
+		t.Errorf("lease in a zone/type the fleet lacks = %v, want ErrConflict", err)
+	}
+}
+
+// TestApplyEvictsInAdmissionOrder: a capacity loss preempts the
+// lowest-priority (then lexicographically-last) leases first, returns them
+// in admission order, and leaves the invariant intact.
+func TestApplyEvictsInAdmissionOrder(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 16))
+	// Admission order is (priority desc, name asc): hi, a, b.
+	for _, j := range []struct {
+		name string
+		pri  int
+	}{{"b", 1}, {"hi", 9}, {"a", 1}} {
+		if err := l.Acquire(j.name, j.pri, flatPlan(zoneA, core.A100, 1, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Losing 8 of 16 GPUs leaves room for two 4-GPU leases: hi and a keep
+	// theirs, b is evicted.
+	broken := l.Apply(trace.Event{At: time.Hour, Zone: zoneA, GPU: core.A100, Delta: -8})
+	if len(broken) != 1 || broken[0].Job != "b" {
+		t.Fatalf("broken = %+v, want exactly job b", broken)
+	}
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Losing 6 more (16-8-6=2) breaks everything left, highest priority
+	// reported first.
+	broken = l.Apply(trace.Event{At: 2 * time.Hour, Zone: zoneA, GPU: core.A100, Delta: -6})
+	if len(broken) != 2 || broken[0].Job != "hi" || broken[1].Job != "a" {
+		t.Fatalf("broken = %+v, want [hi a] in admission order", broken)
+	}
+	if got := l.Snapshot(); len(got.Leases) != 0 || got.Free.TotalGPUs() != 2 {
+		t.Errorf("post-blackout snapshot = %+v, want no leases, 2 free", got)
+	}
+	// Capacity growth never breaks a lease.
+	if broken := l.Apply(trace.Event{At: 3 * time.Hour, Zone: zoneA, GPU: core.A100, Delta: 14}); len(broken) != 0 {
+		t.Errorf("capacity gain broke leases: %+v", broken)
+	}
+	// Reclamation clamps at zero like trace replay.
+	l.Apply(trace.Event{At: 4 * time.Hour, Zone: zoneA, GPU: core.A100, Delta: -100})
+	if got := l.Capacity().TotalGPUs(); got != 0 {
+		t.Errorf("capacity after over-reclaim = %d, want 0 (clamped)", got)
+	}
+}
+
+// TestApplyKeepsHighPriorityAcrossZones: eviction is per-cell feasibility,
+// not just totals — a zone loss breaks exactly the leases pinned there.
+func TestApplyKeepsHighPriorityAcrossZones(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 8).Set(zoneB, core.A100, 8))
+	if err := l.Acquire("inA", 1, flatPlan(zoneA, core.A100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire("inB", 9, flatPlan(zoneB, core.A100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Zone B blacks out: only inB breaks even though it outranks inA.
+	broken := l.Apply(trace.Event{At: time.Hour, Zone: zoneB, GPU: core.A100, Delta: -8})
+	if len(broken) != 1 || broken[0].Job != "inB" {
+		t.Fatalf("broken = %+v, want exactly inB", broken)
+	}
+	if !l.Held("inA") {
+		t.Error("zone-A lease must survive a zone-B outage")
+	}
+}
+
+// TestLedgerDeterminism: two ledgers fed the same operation sequence agree
+// exactly — version, snapshots, and eviction lists.
+func TestLedgerDeterminism(t *testing.T) {
+	run := func() (Snapshot, [][]Lease) {
+		l := NewLedger(cluster.NewPool())
+		var evictions [][]Lease
+		rng := rand.New(rand.NewSource(7))
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				z := []core.Zone{zoneA, zoneB}[rng.Intn(2)]
+				delta := rng.Intn(9) - 3
+				evictions = append(evictions,
+					l.Apply(trace.Event{At: time.Duration(step) * time.Minute, Zone: z, GPU: core.A100, Delta: delta}))
+			case 2:
+				job := fmt.Sprintf("j%d", rng.Intn(6))
+				z := []core.Zone{zoneA, zoneB}[rng.Intn(2)]
+				plan := flatPlan(z, core.A100, 1+rng.Intn(2), 1+rng.Intn(3))
+				_, _ = l.Install(job, rng.Intn(3), plan)
+			case 3:
+				l.Release(fmt.Sprintf("j%d", rng.Intn(6)))
+			}
+			if err := l.CheckInvariant(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		return l.Snapshot(), evictions
+	}
+	s1, e1 := run()
+	s2, e2 := run()
+	if s1.Version != s2.Version || s1.Capacity.String() != s2.Capacity.String() ||
+		s1.Free.String() != s2.Free.String() || fmt.Sprintf("%+v", s1.Leases) != fmt.Sprintf("%+v", s2.Leases) {
+		t.Errorf("replayed ledgers diverged:\n%+v\nvs\n%+v", s1, s2)
+	}
+	if fmt.Sprintf("%+v", e1) != fmt.Sprintf("%+v", e2) {
+		t.Error("replayed eviction sequences diverged")
+	}
+}
+
+// TestLedgerPropertyRandom is the dedicated ledger property test of the
+// safety invariant: under a long random mix of grants, releases, resizes,
+// and availability events, the sum of leased capacity never exceeds fleet
+// capacity at any step, every eviction list is sorted in admission order,
+// and the free view plus leases always re-adds to capacity.
+func TestLedgerPropertyRandom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, rng.Intn(20)))
+		for step := 0; step < 500; step++ {
+			job := fmt.Sprintf("j%d", rng.Intn(8))
+			z := []core.Zone{zoneA, zoneB}[rng.Intn(2)]
+			switch rng.Intn(5) {
+			case 0, 1:
+				broken := l.Apply(trace.Event{At: time.Duration(step) * time.Second,
+					Zone: z, GPU: core.A100, Delta: rng.Intn(13) - 6})
+				for i := 1; i < len(broken); i++ {
+					a, b := broken[i-1], broken[i]
+					if a.Priority < b.Priority || (a.Priority == b.Priority && a.Job >= b.Job) {
+						t.Fatalf("seed %d step %d: eviction order broken: %+v", seed, step, broken)
+					}
+				}
+			case 2:
+				_, _ = l.Install(job, rng.Intn(4), flatPlan(z, core.A100, 1+rng.Intn(3), 1+rng.Intn(4)))
+			case 3:
+				if l.Held(job) {
+					_ = l.Resize(job, flatPlan(z, core.A100, 1+rng.Intn(2), 1+rng.Intn(4)))
+				}
+			case 4:
+				l.Release(job)
+			}
+			if err := l.CheckInvariant(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			snap := l.Snapshot()
+			leased := 0
+			for _, le := range snap.Leases {
+				leased += le.GPUs()
+			}
+			if leased+snap.Free.TotalGPUs() != snap.Capacity.TotalGPUs() {
+				t.Fatalf("seed %d step %d: leased %d + free %d != capacity %d",
+					seed, step, leased, snap.Free.TotalGPUs(), snap.Capacity.TotalGPUs())
+			}
+		}
+	}
+}
+
+// TestLedgerConcurrentSafety hammers one ledger from many goroutines (run
+// under -race) and checks the invariant still holds at the end.
+func TestLedgerConcurrentSafety(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 32))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			job := fmt.Sprintf("job-%d", g)
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					_, _ = l.Install(job, g, flatPlan(zoneA, core.A100, 1, 1+g%4))
+				case 1:
+					_ = l.Apply(trace.Event{Zone: zoneA, GPU: core.A100, Delta: []int{-2, 2}[(i/4)%2]})
+				case 2:
+					_ = l.FreeView().TotalGPUs() + l.ViewFor(job).TotalGPUs()
+				case 3:
+					l.Release(job)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Version() == 0 {
+		t.Error("version never advanced")
+	}
+}

@@ -105,6 +105,11 @@ type Options struct {
 	// a planner with a different model, objective, constraints, heuristic
 	// set, or evaluator instance ignores it and searches cold.
 	Warm *WarmCache
+	// Guard, when set, re-validates the returned plan (and any warm-start
+	// seed) against a fleet free-capacity view — the fleet scheduler's
+	// defence against a search accidentally spending capacity other jobs
+	// hold. It never changes which plan the search prefers.
+	Guard *CapacityGuard
 	// DisableBoundPruning turns off the admissible bound-based pruning of
 	// DP-degree scans. Pruning is exact — the chosen plan is identical
 	// either way — so this exists only for ablations and for measuring the
@@ -227,6 +232,9 @@ func (pl *Planner) seedFromPrev(prev core.Plan, pool *cluster.Pool) *candidate {
 	if !pool.CanFit(prev) {
 		return nil
 	}
+	if pl.Opts.Guard.Check(prev) != nil {
+		return nil
+	}
 	est, err := pl.seedEstimate(prev)
 	if err != nil || !est.FitsMemory {
 		return nil
@@ -308,6 +316,9 @@ func (pl *Planner) planContext(ctx context.Context, pool *cluster.Pool, seed *ca
 			return res, fmt.Errorf("planner: search cancelled before a valid plan was found: %w", err)
 		}
 		return res, fmt.Errorf("planner: no valid plan within constraints for %d GPUs", pool.TotalGPUs())
+	}
+	if err := pl.Opts.Guard.Check(s.best.res.Plan); err != nil {
+		return Result{SearchTime: time.Since(start), Explored: int(s.explored.Load())}, err
 	}
 	best := s.best.res
 	best.SearchTime = time.Since(start)

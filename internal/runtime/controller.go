@@ -407,17 +407,10 @@ func (c *Controller) RunElastic(tr *trace.Trace, step time.Duration) (Report, er
 		}
 	}
 	rep.VirtualSeconds = c.now
-	rep.CheckpointsTaken = c.ckpt.LastCompleted(c.now) / maxInt(1, c.Cfg.CheckpointEvery)
+	rep.CheckpointsTaken = c.ckpt.LastCompleted(c.now) / max(1, c.Cfg.CheckpointEvery)
 	for _, t := range rep.Reconfigs {
 		rep.PlanningSeconds += t.Planning
 		rep.PlanCacheHits += t.PlanCacheHits
 	}
 	return rep, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -7,22 +7,31 @@ package wire
 
 // Method names the service registers on the rpc layer.
 const (
-	MethodOpenJob  = "sailor.open-job"
-	MethodPlan     = "sailor.plan"
-	MethodReplan   = "sailor.replan"
-	MethodSimulate = "sailor.simulate"
-	MethodCloseJob = "sailor.close-job"
-	MethodStats    = "sailor.stats"
+	MethodOpenJob    = "sailor.open-job"
+	MethodPlan       = "sailor.plan"
+	MethodReplan     = "sailor.replan"
+	MethodSimulate   = "sailor.simulate"
+	MethodCloseJob   = "sailor.close-job"
+	MethodStats      = "sailor.stats"
+	MethodSetFleet   = "sailor.set-fleet"
+	MethodFleetEvent = "sailor.fleet-event"
+	MethodRebalance  = "sailor.rebalance"
+	MethodFleetStats = "sailor.fleet-stats"
 )
 
-// OpenJobRequest registers a named job: the model to profile and the GPU
-// types its pools may contain. Tenants opening jobs with the same (model,
-// GPU set, seed) shape share one profiled system behind the scenes.
+// OpenJobRequest registers a named job: the model to profile, the GPU
+// types its pools may contain, and the job's fleet priority. Tenants
+// opening jobs with the same (model, GPU set, seed) shape share one
+// profiled system behind the scenes.
 type OpenJobRequest struct {
 	V     int      `json:"v"`
 	Job   string   `json:"job"`
 	Model Model    `json:"model"`
 	GPUs  []string `json:"gpus"`
+	// Priority orders the job in fleet mode: higher keeps capacity longer
+	// under contention and replans earlier (ties break on job name).
+	// Ignored outside fleet mode.
+	Priority int `json:"priority"`
 }
 
 // OpenJobResponse acknowledges an OpenJobRequest.
@@ -116,4 +125,102 @@ type ServiceStats struct {
 	SystemsCached     int    `json:"systems_cached"`
 	SystemCacheHits   uint64 `json:"system_cache_hits"`
 	SystemCacheMisses uint64 `json:"system_cache_misses"`
+}
+
+// Fleet-mode messages: the shared cluster-state ledger crossing the wire.
+
+// SetFleetRequest installs (or replaces) the service's fleet ledger with
+// the given total capacity, enabling fleet mode. Replacing an active ledger
+// drops every lease — an operator reset, not a routine call.
+type SetFleetRequest struct {
+	V        int  `json:"v"`
+	Capacity Pool `json:"capacity"`
+	// JobCapGPUs bounds any single lease (0 = unlimited) — the fair-share
+	// cap that keeps one max-throughput job from leasing the whole fleet.
+	JobCapGPUs int `json:"job_cap_gpus"`
+}
+
+// SetFleetResponse acknowledges a SetFleetRequest.
+type SetFleetResponse struct {
+	V int `json:"v"`
+}
+
+// FleetEventRequest applies one availability event to the fleet ledger.
+type FleetEventRequest struct {
+	V     int        `json:"v"`
+	Event FleetEvent `json:"event"`
+}
+
+// FleetEventResponse reports the leases the event broke, in admission
+// order (priority descending, then job name ascending); their jobs must
+// replan (Rebalance).
+type FleetEventResponse struct {
+	V      int         `json:"v"`
+	Broken []LeaseInfo `json:"broken"`
+}
+
+// RebalanceRequest asks the service to replan every fleet job that holds
+// no lease — jobs preempted by events and jobs not yet admitted — in
+// deterministic priority order.
+type RebalanceRequest struct {
+	V int `json:"v"`
+}
+
+// RebalanceResponse carries the per-job outcomes back, in the order the
+// jobs were replanned.
+type RebalanceResponse struct {
+	V     int             `json:"v"`
+	Steps []RebalanceStep `json:"steps"`
+}
+
+// RebalanceStep is one job's outcome in a rebalance pass.
+type RebalanceStep struct {
+	Job      string `json:"job"`
+	Priority int    `json:"priority"`
+	// Action is "admit" (first lease), "replan" (warm replan after a broken
+	// lease), or "wait" (no free capacity / no feasible plan this pass).
+	Action string `json:"action"`
+	// Result is the planner result backing the new lease (admit/replan).
+	Result *PlanResult `json:"result,omitempty"`
+	// Error is the planner failure that left the job waiting.
+	Error string `json:"error,omitempty"`
+}
+
+// FleetStatsRequest asks for a fleet ledger snapshot.
+type FleetStatsRequest struct {
+	V int `json:"v"`
+}
+
+// FleetStatsResponse carries the snapshot back.
+type FleetStatsResponse struct {
+	V     int        `json:"v"`
+	Stats FleetStats `json:"stats"`
+}
+
+// FleetStats is a point-in-time snapshot of the fleet ledger.
+type FleetStats struct {
+	// Version is the ledger's mutation counter.
+	Version uint64 `json:"version"`
+	// CapacityGPUs/LeasedGPUs/FreeGPUs total the fleet, its leases, and
+	// what remains for admission.
+	CapacityGPUs int `json:"capacity_gpus"`
+	LeasedGPUs   int `json:"leased_gpus"`
+	FreeGPUs     int `json:"free_gpus"`
+	// JobCapGPUs is the per-job lease bound (0 = unlimited).
+	JobCapGPUs int `json:"job_cap_gpus"`
+	// Capacity and Free are the full pools behind the totals.
+	Capacity Pool `json:"capacity"`
+	Free     Pool `json:"free"`
+	// Leases is the per-job lease table in admission order.
+	Leases []LeaseInfo `json:"leases"`
+}
+
+// LeaseInfo is one row of the fleet's per-job lease table.
+type LeaseInfo struct {
+	Job      string `json:"job"`
+	Priority int    `json:"priority"`
+	GPUs     int    `json:"gpus"`
+	// AcquiredVersion is the ledger version at which the lease was granted.
+	AcquiredVersion uint64 `json:"acquired_version"`
+	Plan            Plan   `json:"plan"`
 }

@@ -30,9 +30,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/runtime"
+	"repro/internal/trace"
 )
 
 // Version is the wire schema version this build speaks. Bump it when a DTO
@@ -347,6 +349,53 @@ func FromReport(r runtime.Report) Report {
 		for i, p := range r.PlansUsed {
 			out.PlansUsed[i] = FromPlan(p)
 		}
+	}
+	return out
+}
+
+// FleetEvent mirrors trace.Event: one availability change applied to the
+// fleet ledger. The timestamp crosses the wire as integer nanoseconds.
+type FleetEvent struct {
+	AtNS  int64  `json:"at_ns"`
+	Zone  Zone   `json:"zone"`
+	GPU   string `json:"gpu"`
+	Delta int    `json:"delta"`
+}
+
+// FromFleetEvent converts an availability event to its wire shape.
+func FromFleetEvent(e trace.Event) FleetEvent {
+	return FleetEvent{AtNS: e.At.Nanoseconds(), Zone: FromZone(e.Zone), GPU: string(e.GPU), Delta: e.Delta}
+}
+
+// Trace converts back to the domain type.
+func (e FleetEvent) Trace() trace.Event {
+	return trace.Event{At: time.Duration(e.AtNS), Zone: e.Zone.Core(), GPU: core.GPUType(e.GPU), Delta: e.Delta}
+}
+
+// FromLease converts a fleet lease to its wire table row.
+func FromLease(le fleet.Lease) LeaseInfo {
+	return LeaseInfo{
+		Job:             le.Job,
+		Priority:        le.Priority,
+		GPUs:            le.GPUs(),
+		AcquiredVersion: le.Acquired,
+		Plan:            FromPlan(le.Plan),
+	}
+}
+
+// FromFleetSnapshot converts a ledger snapshot to the wire stats shape.
+func FromFleetSnapshot(s fleet.Snapshot) FleetStats {
+	out := FleetStats{
+		Version:      s.Version,
+		CapacityGPUs: s.Capacity.TotalGPUs(),
+		FreeGPUs:     s.Free.TotalGPUs(),
+		JobCapGPUs:   s.JobCap,
+		Capacity:     FromPool(s.Capacity),
+		Free:         FromPool(s.Free),
+	}
+	out.LeasedGPUs = out.CapacityGPUs - out.FreeGPUs
+	for _, le := range s.Leases {
+		out.Leases = append(out.Leases, FromLease(le))
 	}
 	return out
 }

@@ -35,17 +35,67 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.rpc.Close() }
 
 // OpenJob implements API over the wire.
-func (c *Client) OpenJob(job string, m Model, gpus []GPUType) error {
+func (c *Client) OpenJob(job string, m Model, gpus []GPUType, priority int) error {
 	names := make([]string, len(gpus))
 	for i, g := range gpus {
 		names[i] = string(g)
 	}
-	req := wire.OpenJobRequest{V: wire.Version, Job: job, Model: wire.FromModel(m), GPUs: names}
+	req := wire.OpenJobRequest{V: wire.Version, Job: job, Model: wire.FromModel(m), GPUs: names, Priority: priority}
 	var resp wire.OpenJobResponse
 	if err := c.rpc.Call(wire.MethodOpenJob, req, &resp); err != nil {
 		return err
 	}
 	return wire.Check(resp.V)
+}
+
+// SetFleet implements API over the wire.
+func (c *Client) SetFleet(capacity *Pool, jobCapGPUs int) error {
+	req := wire.SetFleetRequest{V: wire.Version, Capacity: wire.FromPool(capacity), JobCapGPUs: jobCapGPUs}
+	var resp wire.SetFleetResponse
+	if err := c.rpc.Call(wire.MethodSetFleet, req, &resp); err != nil {
+		return err
+	}
+	return wire.Check(resp.V)
+}
+
+// FleetEvent implements API over the wire.
+func (c *Client) FleetEvent(ev TraceEvent) ([]LeaseInfo, error) {
+	req := wire.FleetEventRequest{V: wire.Version, Event: wire.FromFleetEvent(ev)}
+	var resp wire.FleetEventResponse
+	if err := c.rpc.Call(wire.MethodFleetEvent, req, &resp); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(resp.V); err != nil {
+		return nil, err
+	}
+	return resp.Broken, nil
+}
+
+// Rebalance implements API over the wire; see Plan for context semantics.
+func (c *Client) Rebalance(ctx context.Context) ([]RebalanceStep, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var resp wire.RebalanceResponse
+	if err := c.rpc.Call(wire.MethodRebalance, wire.RebalanceRequest{V: wire.Version}, &resp); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(resp.V); err != nil {
+		return nil, err
+	}
+	return resp.Steps, nil
+}
+
+// FleetStats implements API over the wire.
+func (c *Client) FleetStats() (FleetStats, error) {
+	var resp wire.FleetStatsResponse
+	if err := c.rpc.Call(wire.MethodFleetStats, wire.FleetStatsRequest{V: wire.Version}, &resp); err != nil {
+		return FleetStats{}, err
+	}
+	if err := wire.Check(resp.V); err != nil {
+		return FleetStats{}, err
+	}
+	return resp.Stats, nil
 }
 
 // Plan implements API over the wire. The context gates only the local

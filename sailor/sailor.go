@@ -7,7 +7,7 @@
 // (§5.5) that plans and replans many jobs as availability shifts:
 //
 //	svc := sailor.NewService(sailor.ServiceConfig{})
-//	svc.OpenJob("tenant-1", sailor.OPT350M(), []sailor.GPUType{sailor.A100})
+//	svc.OpenJob("tenant-1", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 0)
 //	res, _ := svc.Plan(ctx, "tenant-1", pool, sailor.MaxThroughput, sailor.Constraints{})
 //	res2, _ := svc.Replan(ctx, "tenant-1", res.Plan, shrunkPool, sailor.MaxThroughput, sailor.Constraints{})
 //	est, _ := svc.Simulate("tenant-1", res2.Plan)
@@ -17,7 +17,19 @@
 // profiled System behind the front door; each job keeps a private
 // warm-start cache for replan continuity; planner concurrency is bounded
 // across tenants; and Stats snapshots QPS, cache utilisation, and
-// in-flight counts. The same surface crosses a wire: cmd/sailor-serve
+// in-flight counts.
+//
+// Fleet mode (ServiceConfig.Fleet, or SetFleet at runtime) arbitrates one
+// shared elastic fleet across all jobs: a concurrent, versioned capacity
+// Ledger (internal/fleet) tracks per-job leases, Plan/Replan search the
+// ledger's free-capacity view and lease what they return, FleetEvent
+// replays availability changes against the fleet and preempts leases in
+// deterministic admission order (priority descending, then job name), and
+// Rebalance replans every leaseless job warm, in priority order. The sum
+// of leased capacity never exceeds fleet capacity at any step, and a
+// no-contention fleet of one job plans bit-identically to a solo Service.
+// cmd/sailor-replay -fleet -jobs N drives any scenario through a shared
+// ledger and prints the per-job reconfiguration ledger. The same surface crosses a wire: cmd/sailor-serve
 // hosts a Service over the internal/rpc framing, Dial returns a Client
 // implementing the identical API interface, and every message is a
 // versioned internal/wire document. The determinism contract holds on
@@ -67,6 +79,7 @@ import (
 	"fmt"
 	goruntime "runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -190,6 +203,41 @@ func ModelByName(name string) (Model, error) {
 
 // NewPool returns an empty availability pool.
 func NewPool() *Pool { return cluster.NewPool() }
+
+// ParseQuota parses the CLI quota syntax — comma-separated zone:gpu:count
+// triples like "us-central1-a:A100-40:16,us-central1-b:V100-16:32" — into a
+// pool plus the distinct GPU types in first-appearance order. Every CLI
+// (sailor-plan -quota, sailor-serve -fleet) shares this parser.
+func ParseQuota(s string) (*Pool, []GPUType, error) {
+	if s == "" {
+		return nil, nil, fmt.Errorf("empty quota; example: us-central1-a:A100-40:16,us-central1-b:V100-16:32")
+	}
+	pool := NewPool()
+	seen := map[GPUType]bool{}
+	var gpus []GPUType
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("bad quota entry %q (want zone:gpu:count)", part)
+		}
+		zoneName := fields[0]
+		region := zoneName
+		if i := strings.LastIndex(zoneName, "-"); i > 0 {
+			region = zoneName[:i]
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			return nil, nil, fmt.Errorf("bad count in %q", part)
+		}
+		g := GPUType(fields[1])
+		pool.Set(Zone{Region: region, Name: zoneName}, g, n)
+		if !seen[g] {
+			seen[g] = true
+			gpus = append(gpus, g)
+		}
+	}
+	return pool, gpus, nil
+}
 
 // GCPZone names a zone like "us-central1-a".
 func GCPZone(region string, letter byte) Zone { return cluster.GCPZone(region, letter) }

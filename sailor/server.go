@@ -32,6 +32,10 @@ func NewServer(lis net.Listener, svc *Service) *Server {
 	s.rpc.Handle(wire.MethodSimulate, s.simulate)
 	s.rpc.Handle(wire.MethodCloseJob, s.closeJob)
 	s.rpc.Handle(wire.MethodStats, s.stats)
+	s.rpc.Handle(wire.MethodSetFleet, s.setFleet)
+	s.rpc.Handle(wire.MethodFleetEvent, s.fleetEvent)
+	s.rpc.Handle(wire.MethodRebalance, s.rebalance)
+	s.rpc.Handle(wire.MethodFleetStats, s.fleetStats)
 	return s
 }
 
@@ -60,10 +64,69 @@ func (s *Server) openJob(body json.RawMessage) (any, error) {
 	for i, g := range req.GPUs {
 		gpus[i] = GPUType(g)
 	}
-	if err := s.svc.OpenJob(req.Job, req.Model.Config(), gpus); err != nil {
+	if err := s.svc.OpenJob(req.Job, req.Model.Config(), gpus, req.Priority); err != nil {
 		return nil, err
 	}
 	return wire.OpenJobResponse{V: wire.Version}, nil
+}
+
+func (s *Server) setFleet(body json.RawMessage) (any, error) {
+	var req wire.SetFleetRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	if err := s.svc.SetFleet(req.Capacity.Cluster(), req.JobCapGPUs); err != nil {
+		return nil, err
+	}
+	return wire.SetFleetResponse{V: wire.Version}, nil
+}
+
+func (s *Server) fleetEvent(body json.RawMessage) (any, error) {
+	var req wire.FleetEventRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	broken, err := s.svc.FleetEvent(req.Event.Trace())
+	if err != nil {
+		return nil, err
+	}
+	return wire.FleetEventResponse{V: wire.Version, Broken: broken}, nil
+}
+
+func (s *Server) rebalance(body json.RawMessage) (any, error) {
+	var req wire.RebalanceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	steps, err := s.svc.Rebalance(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return wire.RebalanceResponse{V: wire.Version, Steps: steps}, nil
+}
+
+func (s *Server) fleetStats(body json.RawMessage) (any, error) {
+	var req wire.FleetStatsRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if err := wire.Check(req.V); err != nil {
+		return nil, err
+	}
+	st, err := s.svc.FleetStats()
+	if err != nil {
+		return nil, err
+	}
+	return wire.FleetStatsResponse{V: wire.Version, Stats: st}, nil
 }
 
 func (s *Server) plan(body json.RawMessage) (any, error) {

@@ -36,7 +36,7 @@ func TestWireDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.OpenJob("tenant", OPT350M(), []GPUType{A100}); err != nil {
+		if err := c.OpenJob("tenant", OPT350M(), []GPUType{A100}, 0); err != nil {
 			t.Fatal(err)
 		}
 		sys, err := New(OPT350M(), []GPUType{A100}, WithWorkers(workers))
@@ -126,7 +126,7 @@ func TestWireConcurrentTenants(t *testing.T) {
 			}
 			defer c.Close()
 			job := string(rune('a' + g))
-			if err := c.OpenJob(job, OPT350M(), []GPUType{A100}); err != nil {
+			if err := c.OpenJob(job, OPT350M(), []GPUType{A100}, 0); err != nil {
 				t.Error(err)
 				return
 			}
@@ -175,7 +175,7 @@ func TestWireErrors(t *testing.T) {
 	if _, err := c.Plan(context.Background(), "ghost", NewPool(), MaxThroughput, Constraints{}); err == nil {
 		t.Error("planning an unopened job must fail across the wire")
 	}
-	if err := c.OpenJob("", OPT350M(), []GPUType{A100}); err == nil {
+	if err := c.OpenJob("", OPT350M(), []GPUType{A100}, 0); err == nil {
 		t.Error("empty job name must fail across the wire")
 	}
 	ctx, cancel := context.WithCancel(context.Background())

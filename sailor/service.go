@@ -17,6 +17,7 @@ package sailor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sort"
@@ -25,9 +26,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/planner"
 	"repro/internal/wire"
 )
+
+// ErrNoFleet is returned by the fleet-mode calls (FleetEvent, Rebalance,
+// FleetStats) of a service that has no capacity ledger configured.
+var ErrNoFleet = errors.New("sailor: fleet mode not enabled (set ServiceConfig.Fleet or call SetFleet)")
 
 // WireVersion is the serving API's schema version: every request and
 // response message carries it, and mismatched generations refuse each
@@ -36,6 +42,32 @@ const WireVersion = wire.Version
 
 // ServiceStats is a point-in-time snapshot of a Service's counters.
 type ServiceStats = wire.ServiceStats
+
+// FleetStats is a point-in-time snapshot of the fleet capacity ledger.
+type FleetStats = wire.FleetStats
+
+// LeaseInfo is one row of the fleet's per-job lease table.
+type LeaseInfo = wire.LeaseInfo
+
+// RebalanceStep is one job's outcome in a Rebalance pass.
+type RebalanceStep = wire.RebalanceStep
+
+// Ledger is the shared cluster-state capacity ledger of fleet mode: total
+// fleet capacity, per-job leases, and deterministic preemption under
+// availability events. Build one with NewLedger and hand it to
+// ServiceConfig.Fleet (or call Service.SetFleet).
+type Ledger = fleet.Ledger
+
+// Lease is one job's hold on fleet capacity.
+type Lease = fleet.Lease
+
+// ErrLeaseConflict is the typed error of a lease grant that lost the
+// admission race against the fleet's free capacity.
+var ErrLeaseConflict = fleet.ErrConflict
+
+// NewLedger returns a fleet ledger over a total-capacity pool (which may be
+// empty when capacity arrives through availability events).
+func NewLedger(capacity *Pool) *Ledger { return fleet.NewLedger(capacity) }
 
 // ServiceConfig tunes a Service. The zero value is a working default.
 type ServiceConfig struct {
@@ -51,6 +83,13 @@ type ServiceConfig struct {
 	// Seed fixes the profiling/ground-truth seed of every System the
 	// service builds (0 = 1, the sailor.New default).
 	Seed uint64
+	// Fleet, when set, runs the service in fleet mode: all jobs plan
+	// through this shared cluster-state ledger instead of caller-supplied
+	// pools. Plan and Replan search the ledger's free-capacity view and
+	// acquire a lease for the plan they return; availability events applied
+	// via FleetEvent preempt leases in deterministic admission order; and
+	// Rebalance replans every leaseless job, warm, in priority order.
+	Fleet *fleet.Ledger
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -69,21 +108,43 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 // API is the request/response surface the in-process Service and the wire
 // Client share, so CLIs and embedders drive either interchangeably.
 type API interface {
-	// OpenJob registers a named job: the model to plan for and the GPU
-	// types its pools may contain.
-	OpenJob(job string, m Model, gpus []GPUType) error
+	// OpenJob registers a named job: the model to plan for, the GPU types
+	// its pools may contain, and the job's fleet priority (higher keeps
+	// capacity longer under contention; ignored outside fleet mode).
+	OpenJob(job string, m Model, gpus []GPUType, priority int) error
 	// Plan searches cold for a plan of pool under the objective and
-	// constraints.
+	// constraints. In fleet mode the shared ledger's free-capacity view
+	// replaces pool, and the returned plan holds a lease on the fleet.
 	Plan(ctx context.Context, job string, pool *Pool, obj Objective, cons Constraints) (PlanResult, error)
 	// Replan warm-starts from the job's previously deployed plan and its
-	// persistent warm cache.
+	// persistent warm cache. Fleet mode behaves as in Plan.
 	Replan(ctx context.Context, job string, prev Plan, pool *Pool, obj Objective, cons Constraints) (PlanResult, error)
 	// Simulate evaluates a plan with the job's analytical simulator.
 	Simulate(job string, plan Plan) (Estimate, error)
-	// CloseJob releases a job; its shared profiled System stays cached.
+	// CloseJob releases a job — and, in fleet mode, its lease; its shared
+	// profiled System stays cached.
 	CloseJob(job string) error
 	// Stats snapshots the service counters.
 	Stats() (ServiceStats, error)
+
+	// Fleet mode. All but SetFleet return ErrNoFleet without a ledger.
+
+	// SetFleet installs (or replaces) the fleet capacity ledger, enabling
+	// fleet mode; jobCapGPUs bounds any single lease (0 = unlimited).
+	// Replacing an active ledger drops every lease — an operator reset,
+	// not a routine call.
+	SetFleet(capacity *Pool, jobCapGPUs int) error
+	// FleetEvent applies one availability event to the fleet and returns
+	// the leases it broke, in admission order; the broken jobs replan on
+	// the next Rebalance.
+	FleetEvent(ev TraceEvent) ([]LeaseInfo, error)
+	// Rebalance replans every open job that holds no lease — preempted and
+	// not-yet-admitted jobs alike — in deterministic priority order
+	// (priority descending, then job name ascending), warm where the job
+	// deployed before, and leases the resulting plans.
+	Rebalance(ctx context.Context) ([]RebalanceStep, error)
+	// FleetStats snapshots the ledger: capacity, free view, lease table.
+	FleetStats() (FleetStats, error)
 }
 
 // Service implements API in-process. It is safe for concurrent use by any
@@ -96,6 +157,7 @@ type Service struct {
 	mu      sync.Mutex
 	jobs    map[string]*serviceJob
 	systems *systemLRU
+	fleet   *fleet.Ledger
 
 	requests  atomic.Uint64
 	plans     atomic.Uint64
@@ -111,10 +173,19 @@ var _ API = (*Service)(nil)
 
 // serviceJob is one tenant's named job: a (possibly shared) profiled
 // System plus the job's private warm-start cache, so replan continuity
-// never leaks between tenants that share a System.
+// never leaks between tenants that share a System. In fleet mode the job
+// also remembers its priority and the last deployed plan/objective, which
+// seed the warm replans Rebalance runs after the job's lease breaks.
 type serviceJob struct {
 	sys  *System
 	warm *planner.WarmCache
+
+	priority int
+	// lastPlan/lastObj/lastCons are the job's most recent successful
+	// request, guarded by Service.mu.
+	lastPlan Plan
+	lastObj  Objective
+	lastCons Constraints
 }
 
 // NewService returns an empty multi-tenant planning service.
@@ -126,7 +197,15 @@ func NewService(cfg ServiceConfig) *Service {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		jobs:    map[string]*serviceJob{},
 		systems: newSystemLRU(cfg.SystemCacheSize),
+		fleet:   cfg.Fleet,
 	}
+}
+
+// ledger returns the current fleet ledger (nil outside fleet mode).
+func (s *Service) ledger() *fleet.Ledger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet
 }
 
 // systemKey identifies a profiled System shape: model, GPU set (order
@@ -143,7 +222,9 @@ func (s *Service) systemKey(m Model, gpus []GPUType) string {
 // OpenJob registers a named job. Jobs with the same (model, GPU set, seed)
 // shape share one profiled System — the profiling campaign runs once per
 // shape, not once per tenant — while each job gets its own WarmCache.
-func (s *Service) OpenJob(job string, m Model, gpus []GPUType) error {
+// Priority orders the job in fleet mode (higher keeps capacity longer under
+// contention and replans earlier); it is recorded but unused otherwise.
+func (s *Service) OpenJob(job string, m Model, gpus []GPUType, priority int) error {
 	if job == "" {
 		return fmt.Errorf("sailor: empty job name")
 	}
@@ -168,12 +249,14 @@ func (s *Service) OpenJob(job string, m Model, gpus []GPUType) error {
 		}
 		s.systems.put(key, sys)
 	}
-	s.jobs[job] = &serviceJob{sys: sys, warm: planner.NewWarmCache()}
+	s.jobs[job] = &serviceJob{sys: sys, warm: planner.NewWarmCache(),
+		priority: priority, lastObj: MaxThroughput}
 	return nil
 }
 
-// CloseJob releases a named job. The job's shared System stays in the LRU
-// for future tenants; its warm cache is dropped.
+// CloseJob releases a named job and, in fleet mode, its lease. The job's
+// shared System stays in the LRU for future tenants; its warm cache is
+// dropped.
 func (s *Service) CloseJob(job string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -181,6 +264,9 @@ func (s *Service) CloseJob(job string) error {
 		return fmt.Errorf("sailor: job %q not open", job)
 	}
 	delete(s.jobs, job)
+	if s.fleet != nil {
+		s.fleet.Release(job)
+	}
 	return nil
 }
 
@@ -218,7 +304,9 @@ func (s *Service) acquire(ctx context.Context) error {
 }
 
 // Plan implements API: a cold planner search, identical to System.Plan on
-// the same inputs.
+// the same inputs. In fleet mode the search runs over the shared ledger's
+// free view (pool is ignored — the ledger is authoritative) and the
+// returned plan holds a lease.
 func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objective, cons Constraints) (res PlanResult, err error) {
 	done := s.begin(&s.plans)
 	defer func() { done(err) }()
@@ -230,13 +318,21 @@ func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objectiv
 		return PlanResult{}, err
 	}
 	defer func() { <-s.sem }()
+	if led := s.ledger(); led != nil {
+		return s.planFleet(ctx, job, j, led, Plan{}, false, obj, cons)
+	}
 	sys := j.sys
 	pl := planner.New(sys.Model, sys.simulator, sys.plannerOpts(obj, cons, sys.workerCount()))
-	return pl.PlanContext(ctx, pool)
+	res, err = pl.PlanContext(ctx, pool)
+	if err == nil {
+		s.recordPlan(j, res.Plan, obj, cons)
+	}
+	return res, err
 }
 
 // Replan implements API: a warm replan against the job's private cache,
-// identical to System.Replan given the same request history.
+// identical to System.Replan given the same request history. Fleet mode
+// behaves as in Plan.
 func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool, obj Objective, cons Constraints) (res PlanResult, err error) {
 	done := s.begin(&s.replans)
 	defer func() { done(err) }()
@@ -248,11 +344,188 @@ func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool,
 		return PlanResult{}, err
 	}
 	defer func() { <-s.sem }()
+	if led := s.ledger(); led != nil {
+		return s.planFleet(ctx, job, j, led, prev, true, obj, cons)
+	}
 	sys := j.sys
 	opts := sys.plannerOpts(obj, cons, sys.workerCount())
 	opts.Warm = j.warm
 	pl := planner.New(sys.Model, sys.simulator, opts)
-	return pl.ReplanContext(ctx, prev, pool)
+	res, err = pl.ReplanContext(ctx, prev, pool)
+	if err == nil {
+		s.recordPlan(j, res.Plan, obj, cons)
+	}
+	return res, err
+}
+
+// recordPlan remembers a job's last successful request — the seed of the
+// warm replans Rebalance issues on its behalf.
+func (s *Service) recordPlan(j *serviceJob, plan Plan, obj Objective, cons Constraints) {
+	s.mu.Lock()
+	j.lastPlan, j.lastObj, j.lastCons = plan, obj, cons
+	s.mu.Unlock()
+}
+
+// planFleet runs one leased search for a fleet job: search the ledger's
+// view for the job (free capacity plus its own lease), then install the
+// resulting plan as the job's lease. A grant can lose the race against a
+// concurrent tenant between the view snapshot and the install; the loop
+// retries against a fresh view a few times before giving up with
+// ErrLeaseConflict.
+func (s *Service) planFleet(ctx context.Context, name string, j *serviceJob, led *fleet.Ledger, prev Plan, warm bool, obj Objective, cons Constraints) (PlanResult, error) {
+	sys := j.sys
+	const attempts = 3
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		view := led.ViewFor(name)
+		if view.TotalGPUs() == 0 {
+			return PlanResult{}, fmt.Errorf("sailor: fleet has no free capacity for job %q", name)
+		}
+		opts := sys.plannerOpts(obj, cons, sys.workerCount())
+		opts.Guard = planner.NewCapacityGuard(view)
+		if warm {
+			opts.Warm = j.warm
+		}
+		pl := planner.New(sys.Model, sys.simulator, opts)
+		var res PlanResult
+		var err error
+		if warm && len(prev.Stages) > 0 {
+			res, err = pl.ReplanContext(ctx, prev, view)
+		} else {
+			res, err = pl.PlanContext(ctx, view)
+		}
+		if err != nil {
+			return PlanResult{}, err
+		}
+		granted, err := led.Install(name, j.priority, res.Plan)
+		if err != nil {
+			if errors.Is(err, fleet.ErrConflict) {
+				lastErr = err
+				continue // the ledger moved under us; search a fresh view
+			}
+			return PlanResult{}, err
+		}
+		// CloseJob may have raced the search: it releases the lease under
+		// s.mu, so re-check the job is still this open incarnation after
+		// the install and give the capacity back if it is not. The release
+		// is conditional on the grant version, so if the name was already
+		// reopened and re-leased, the new incarnation's lease survives.
+		s.mu.Lock()
+		open := s.jobs[name] == j
+		if open {
+			j.lastPlan, j.lastObj, j.lastCons = res.Plan, obj, cons
+		}
+		s.mu.Unlock()
+		if !open {
+			led.ReleaseIf(name, granted)
+			return PlanResult{}, fmt.Errorf("sailor: job %q closed while planning", name)
+		}
+		return res, nil
+	}
+	return PlanResult{}, fmt.Errorf("sailor: job %q lost the fleet admission race %d times: %w", name, attempts, lastErr)
+}
+
+// SetFleet implements API: install (or replace) the fleet capacity ledger.
+// Replacing an active ledger drops every lease; open jobs keep their warm
+// caches and last plans, so the next Rebalance re-admits them warm.
+func (s *Service) SetFleet(capacity *Pool, jobCapGPUs int) error {
+	led := fleet.NewLedger(capacity)
+	led.SetJobCap(jobCapGPUs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fleet = led
+	return nil
+}
+
+// FleetEvent implements API: apply one availability event to the fleet and
+// report the leases it broke, in admission order.
+func (s *Service) FleetEvent(ev TraceEvent) ([]LeaseInfo, error) {
+	led := s.ledger()
+	if led == nil {
+		return nil, ErrNoFleet
+	}
+	broken := led.Apply(ev)
+	out := make([]LeaseInfo, len(broken))
+	for i, le := range broken {
+		out[i] = wire.FromLease(le)
+	}
+	return out, nil
+}
+
+// Rebalance implements API: replan every open job that holds no lease, in
+// deterministic priority order (priority descending, then job name
+// ascending). A job that deployed before replans warm from its last plan;
+// a never-admitted job plans cold. Jobs that find no feasible plan — or no
+// free capacity at all — are reported with action "wait" and retried on
+// the next call. Cancellation returns the steps completed so far.
+func (s *Service) Rebalance(ctx context.Context) ([]RebalanceStep, error) {
+	led := s.ledger()
+	if led == nil {
+		return nil, ErrNoFleet
+	}
+	type cand struct {
+		name string
+		j    *serviceJob
+		prev Plan
+		obj  Objective
+		cons Constraints
+		pri  int
+	}
+	s.mu.Lock()
+	cands := make([]cand, 0, len(s.jobs))
+	for name, j := range s.jobs {
+		if led.Held(name) {
+			continue
+		}
+		cands = append(cands, cand{name, j, j.lastPlan, j.lastObj, j.lastCons, j.priority})
+	}
+	s.mu.Unlock()
+	sort.Slice(cands, func(i, k int) bool {
+		if cands[i].pri != cands[k].pri {
+			return cands[i].pri > cands[k].pri
+		}
+		return cands[i].name < cands[k].name
+	})
+	var steps []RebalanceStep
+	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return steps, err
+		}
+		step := RebalanceStep{Job: c.name, Priority: c.pri, Action: "admit"}
+		if len(c.prev.Stages) > 0 {
+			step.Action = "replan"
+		}
+		if led.FreeView().TotalGPUs() == 0 {
+			step.Action, step.Error = "wait", "no free fleet capacity"
+			steps = append(steps, step)
+			continue
+		}
+		if err := s.acquire(ctx); err != nil {
+			return steps, err
+		}
+		// Rebalance searches always run against the job's warm cache: an
+		// admission populates it, so the preemption-driven replan that
+		// follows a capacity loss reuses the DP regions already solved.
+		res, err := s.planFleet(ctx, c.name, c.j, led, c.prev, true, c.obj, c.cons)
+		<-s.sem
+		if err != nil {
+			step.Action, step.Error = "wait", err.Error()
+		} else {
+			r := wire.FromResult(res)
+			step.Result = &r
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// FleetStats implements API with a consistent ledger snapshot.
+func (s *Service) FleetStats() (FleetStats, error) {
+	led := s.ledger()
+	if led == nil {
+		return FleetStats{}, ErrNoFleet
+	}
+	return wire.FromFleetSnapshot(led.Snapshot()), nil
 }
 
 // Simulate implements API: the analytical simulator's estimate of a plan.

@@ -16,7 +16,7 @@ func TestServicePlanMatchesSystem(t *testing.T) {
 	pools := replayPools(t, "preemption-storm", 1, 4)
 	for _, workers := range []int{1, 4} {
 		svc := NewService(ServiceConfig{Workers: workers})
-		if err := svc.OpenJob("tenant", OPT350M(), []GPUType{A100}); err != nil {
+		if err := svc.OpenJob("tenant", OPT350M(), []GPUType{A100}, 0); err != nil {
 			t.Fatal(err)
 		}
 		sys, err := New(OPT350M(), []GPUType{A100}, WithWorkers(workers))
@@ -60,7 +60,7 @@ func TestServiceReplanContinuity(t *testing.T) {
 	pools := replayPools(t, "preemption-storm", 1, 6)
 	svc := NewService(ServiceConfig{Workers: 2})
 	for _, job := range []string{"a", "b"} {
-		if err := svc.OpenJob(job, OPT350M(), []GPUType{A100}); err != nil {
+		if err := svc.OpenJob(job, OPT350M(), []GPUType{A100}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -116,9 +116,9 @@ func TestServiceSystemSharing(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	must(svc.OpenJob("a", OPT350M(), []GPUType{A100, V100}))
-	must(svc.OpenJob("b", OPT350M(), []GPUType{V100, A100})) // same set, different order
-	must(svc.OpenJob("c", GPT2XL(), []GPUType{A100}))
+	must(svc.OpenJob("a", OPT350M(), []GPUType{A100, V100}, 0))
+	must(svc.OpenJob("b", OPT350M(), []GPUType{V100, A100}, 0)) // same set, different order
+	must(svc.OpenJob("c", GPT2XL(), []GPUType{A100}, 0))
 	a, _ := svc.job("a")
 	b, _ := svc.job("b")
 	c, _ := svc.job("c")
@@ -136,7 +136,7 @@ func TestServiceSystemSharing(t *testing.T) {
 		t.Errorf("cache hits/misses = %d/%d, want 1/2", st.SystemCacheHits, st.SystemCacheMisses)
 	}
 	// A third shape evicts the least recently used (OPT350M's system).
-	must(svc.OpenJob("d", GPTNeo27B(), []GPUType{V100}))
+	must(svc.OpenJob("d", GPTNeo27B(), []GPUType{V100}, 0))
 	st, _ = svc.Stats()
 	if st.SystemsCached != 2 {
 		t.Errorf("SystemsCached = %d, want 2 (capacity)", st.SystemsCached)
@@ -153,20 +153,20 @@ func TestServiceSystemSharing(t *testing.T) {
 // TestServiceOpenJobErrors: the front door validates its inputs.
 func TestServiceOpenJobErrors(t *testing.T) {
 	svc := NewService(ServiceConfig{})
-	if err := svc.OpenJob("", OPT350M(), []GPUType{A100}); err == nil {
+	if err := svc.OpenJob("", OPT350M(), []GPUType{A100}, 0); err == nil {
 		t.Error("empty job name must fail")
 	}
-	if err := svc.OpenJob("x", OPT350M(), nil); err == nil {
+	if err := svc.OpenJob("x", OPT350M(), nil, 0); err == nil {
 		t.Error("no GPU types must fail")
 	}
-	if err := svc.OpenJob("x", OPT350M(), []GPUType{A100}); err != nil {
+	if err := svc.OpenJob("x", OPT350M(), []GPUType{A100}, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.OpenJob("x", OPT350M(), []GPUType{A100}); err == nil ||
+	if err := svc.OpenJob("x", OPT350M(), []GPUType{A100}, 0); err == nil ||
 		!strings.Contains(err.Error(), "already open") {
 		t.Errorf("duplicate OpenJob = %v, want already-open error", err)
 	}
-	if err := svc.OpenJob("bad", Model{Name: "junk"}, []GPUType{A100}); err == nil {
+	if err := svc.OpenJob("bad", Model{Name: "junk"}, []GPUType{A100}, 0); err == nil {
 		t.Error("invalid model must fail to open")
 	}
 	if _, err := svc.Plan(context.Background(), "ghost", NewPool(), MaxThroughput, Constraints{}); err == nil {
@@ -208,7 +208,7 @@ func TestServiceConcurrentTenants(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			job := []string{"t0", "t1", "t2", "t3"}[g]
-			if err := svc.OpenJob(job, OPT350M(), []GPUType{A100}); err != nil {
+			if err := svc.OpenJob(job, OPT350M(), []GPUType{A100}, 0); err != nil {
 				t.Error(err)
 				return
 			}
@@ -265,7 +265,7 @@ func TestServiceConcurrentTenants(t *testing.T) {
 // bound honors context cancellation instead of waiting forever.
 func TestServiceQueuedCancellation(t *testing.T) {
 	svc := NewService(ServiceConfig{Workers: 1, MaxConcurrent: 1})
-	if err := svc.OpenJob("j", OPT350M(), []GPUType{A100}); err != nil {
+	if err := svc.OpenJob("j", OPT350M(), []GPUType{A100}, 0); err != nil {
 		t.Fatal(err)
 	}
 	svc.sem <- struct{}{} // occupy the only slot
