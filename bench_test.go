@@ -384,6 +384,52 @@ func BenchmarkFleetRebalance(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetRebalanceCold measures the cold fleet admission pass the
+// partitioned rebalance targets: one op = reopen one job per GPU type
+// (dropping warm caches and leases), reset the ledger, and run a single
+// Rebalance that admits all jobs from scratch. The jobs declare disjoint
+// single-type quotas, so the partitioned path searches them concurrently;
+// the sequential variant pins the original one-goroutine admission loop.
+// Plans and ledger trajectory are byte-identical across variants (asserted
+// by TestRebalancePartitionedDeterminism); only wall-clock changes.
+func BenchmarkFleetRebalanceCold(b *testing.B) {
+	types := []core.GPUType{core.A100, core.V100, core.RTX3090, core.T4}
+	pool := cluster.NewPool()
+	for _, g := range types {
+		pool.Set(benchZone, g, 64)
+	}
+	for _, bc := range []struct {
+		name string
+		cfg  sailor.ServiceConfig
+	}{
+		{"jobs=4/sequential", sailor.ServiceConfig{Workers: 1, MaxConcurrent: 1, SequentialRebalance: true}},
+		{fmt.Sprintf("jobs=4/max-concurrent=%d", goruntime.NumCPU()),
+			sailor.ServiceConfig{Workers: 1, MaxConcurrent: goruntime.NumCPU()}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			svc := sailor.NewService(bc.cfg)
+			m := sailor.OPT350M()
+			// Profile the per-type Systems once so ops measure the search,
+			// not first-touch profiling.
+			if _, _, err := experiments.DriveFleetColdRebalance(svc, m, types, pool); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			var explored, hits int
+			for i := 0; i < b.N; i++ {
+				var err error
+				explored, hits, err = experiments.DriveFleetColdRebalance(svc, m, types, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(explored), "explored/op")
+			b.ReportMetric(float64(hits), "cache-hits/op")
+		})
+	}
+}
+
 // replanPools materialises the distinct availability snapshots of a
 // preemption-storm trace — the replan sequence the elastic controller
 // issues while surviving the churn.

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -42,6 +43,10 @@ type benchResult struct {
 	// run of the bench body (search work, not wall-clock).
 	Explored  int `json:"explored"`
 	CacheHits int `json:"cache_hits"`
+	// Iters is the iteration count testing.Benchmark settled on — needed
+	// for the benchstat text lines, deliberately kept out of the JSON
+	// schema (iteration counts are machine noise, not trajectory).
+	Iters int `json:"-"`
 }
 
 // benchDoc is the BENCH_planner.json document.
@@ -225,6 +230,37 @@ func runPerfSuite(workers int) (benchDoc, error) {
 		})
 		doc.Benches = append(doc.Benches, row(fmt.Sprintf("fleet_rebalance/jobs=%d", jobs), r, fExplored, fHits))
 	}
+
+	// Cold fleet admission: one op = reopen one job per GPU type (dropping
+	// every warm cache and lease), reset the ledger to a four-type pool,
+	// and run a single Rebalance pass that admits all four from scratch.
+	// The disjoint single-type quotas make every candidate solo, so the
+	// partitioned rebalance searches them concurrently (MaxConcurrent =
+	// workers); at workers=1 this is the sequential baseline the committed
+	// trajectory pins.
+	coldTypes := []core.GPUType{core.A100, core.V100, core.RTX3090, core.T4}
+	coldPool := cluster.NewPool()
+	for _, g := range coldTypes {
+		coldPool.Set(zone, g, 64)
+	}
+	coldSvc := sailor.NewService(sailor.ServiceConfig{Workers: 1, MaxConcurrent: workers})
+	coldModel := sailor.OPT350M()
+	if _, _, err := experiments.DriveFleetColdRebalance(coldSvc, coldModel, coldTypes, coldPool); err != nil { // profile the per-type Systems
+		return doc, err
+	}
+	cExplored, cHits, err := experiments.DriveFleetColdRebalance(coldSvc, coldModel, coldTypes, coldPool)
+	if err != nil {
+		return doc, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiments.DriveFleetColdRebalance(coldSvc, coldModel, coldTypes, coldPool); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benches = append(doc.Benches, row("fleet_rebalance_cold/jobs=4", r, cExplored, cHits))
 	return doc, nil
 }
 
@@ -236,14 +272,35 @@ func row(name string, r testing.BenchmarkResult, explored, hits int) benchResult
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Explored:    explored,
 		CacheHits:   hits,
+		Iters:       r.N,
 	}
 }
 
-// writeBenchJSON runs the suite and writes the document to path.
-func writeBenchJSON(path string, workers int, log io.Writer) error {
-	doc, err := runPerfSuite(workers)
-	if err != nil {
-		return err
+// printBenchstat writes the document's rows as benchstat-compatible
+// benchmark lines (name, iteration count, value-unit pairs). Several
+// -count runs piped into benchstat yield means and confidence intervals;
+// the planner telemetry rides along as custom units.
+func printBenchstat(w io.Writer, doc benchDoc, header bool) {
+	if header {
+		fmt.Fprintf(w, "goos: %s\ngoarch: %s\npkg: repro/cmd/sailor-bench\n", runtime.GOOS, runtime.GOARCH)
+	}
+	for _, b := range doc.Benches {
+		fmt.Fprintf(w, "Benchmark_%s \t%8d\t%14.0f ns/op\t%10d B/op\t%8d allocs/op\t%8d explored/op\t%8d cache-hits/op\n",
+			b.Name, b.Iters, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.Explored, b.CacheHits)
+	}
+}
+
+// writeBenchJSON runs the suite count times, printing one benchstat block
+// per run, and writes the document from the final run to path.
+func writeBenchJSON(path string, workers, count int, log io.Writer) error {
+	var doc benchDoc
+	for i := 0; i < count; i++ {
+		d, err := runPerfSuite(workers)
+		if err != nil {
+			return err
+		}
+		printBenchstat(log, d, i == 0)
+		doc = d
 	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -253,12 +310,82 @@ func writeBenchJSON(path string, workers int, log io.Writer) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	for _, b := range doc.Benches {
-		fmt.Fprintf(log, "%-36s %14.0f ns/op %9d B/op %7d allocs/op  explored=%d cache-hits=%d\n",
-			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.Explored, b.CacheHits)
-	}
-	fmt.Fprintf(log, "wrote %s (%d benches, workers=%d)\n", path, len(doc.Benches), workers)
+	fmt.Fprintf(log, "wrote %s (%d benches, workers=%d, count=%d)\n", path, len(doc.Benches), workers, count)
 	return nil
+}
+
+// compareBenchJSON is the CI perf gate: for every row the baseline and the
+// candidate share, allocs/op may not regress by more than maxGrowth
+// (allocation counts are deterministic, so this is a real gate even on
+// shared runners); ns/op deltas are printed but only informational.
+// Rows present in one document only are reported and skipped, so adding
+// or retiring a bench never trips the gate.
+func compareBenchJSON(newPath, basePath string, maxGrowth float64, w io.Writer) error {
+	load := func(path string) (map[string]benchResult, []string, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var doc benchDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]benchResult, len(doc.Benches))
+		var order []string
+		for _, b := range doc.Benches {
+			m[b.Name] = b
+			order = append(order, b.Name)
+		}
+		return m, order, nil
+	}
+	base, _, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cand, order, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, name := range order {
+		n := cand[name]
+		o, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%-36s new row (no baseline)\n", name)
+			continue
+		}
+		allocsDelta := ratioDelta(float64(n.AllocsPerOp), float64(o.AllocsPerOp))
+		nsDelta := ratioDelta(n.NsPerOp, o.NsPerOp)
+		verdict := "ok"
+		if allocsDelta > maxGrowth {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d (%+.1f%%, limit %+.0f%%)",
+				name, o.AllocsPerOp, n.AllocsPerOp, 100*allocsDelta, 100*maxGrowth))
+		}
+		fmt.Fprintf(w, "%-36s allocs/op %8d -> %8d (%+6.1f%%) %s  [ns/op %+.1f%%, informational]\n",
+			name, o.AllocsPerOp, n.AllocsPerOp, 100*allocsDelta, verdict, 100*nsDelta)
+	}
+	for name := range base {
+		if _, ok := cand[name]; !ok {
+			fmt.Fprintf(w, "%-36s retired (baseline only)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocs/op regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// ratioDelta is (n/o)-1 with zero baselines treated as no regression when
+// the candidate is also zero and an unbounded one otherwise.
+func ratioDelta(n, o float64) float64 {
+	if o == 0 {
+		if n == 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return n/o - 1
 }
 
 // validateBenchJSON checks a BENCH_planner.json document against the

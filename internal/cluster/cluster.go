@@ -232,6 +232,30 @@ func (p *Pool) CapTotal(n int) *Pool {
 	return q
 }
 
+// FilterTypes returns a copy of the pool restricted to the given GPU types.
+// An empty filter returns a full copy. The fleet ledger uses this to build
+// per-job views over only the cells a job's profiled System can plan with,
+// so the per-job cap is spent on usable capacity and jobs with disjoint
+// type sets see views that are independent of each other's leases.
+func (p *Pool) FilterTypes(gpus []core.GPUType) *Pool {
+	if len(gpus) == 0 {
+		return p.Clone()
+	}
+	keep := map[core.GPUType]bool{}
+	for _, g := range gpus {
+		keep[g] = true
+	}
+	q := NewPool()
+	for z, m := range p.counts {
+		for g, c := range m {
+			if keep[g] {
+				q.Set(z, g, c)
+			}
+		}
+	}
+	return q
+}
+
 // ConsolidateRegions merges all zones of each region into one synthetic
 // zone, implementing heuristic H6: within a region, inter-zone bandwidth is
 // close to intra-zone bandwidth, so the geo-split is done per region.

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/sailor"
 )
@@ -35,6 +37,40 @@ func DriveFleetStorm(svc *sailor.Service, tr *trace.Trace, jobCap int) (explored
 				hits += s.Result.CacheHits
 			}
 		}
+	}
+	return explored, hits, nil
+}
+
+// DriveFleetColdRebalance is the "one op" of the cold fleet-rebalance
+// benchmarks (BenchmarkFleetRebalanceCold and the fleet_rebalance_cold row
+// of BENCH_planner.json): reopen one job per GPU type — dropping every
+// warm cache and lease — reset the ledger to the given pool, then run a
+// single Rebalance pass that must admit all jobs from scratch. Because
+// each job declares a single distinct type, the partitioned rebalance path
+// sees every candidate as solo and can search them concurrently; with
+// ServiceConfig.SequentialRebalance the same op measures the one-goroutine
+// baseline. Returns the accumulated planner telemetry.
+func DriveFleetColdRebalance(svc *sailor.Service, m sailor.Model, types []core.GPUType, pool *cluster.Pool) (explored, hits int, err error) {
+	for i, g := range types {
+		name := fmt.Sprintf("cold-%d", i)
+		_ = svc.CloseJob(name)
+		if err := svc.OpenJob(name, m, []core.GPUType{g}, len(types)-i); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := svc.SetFleet(pool, 0); err != nil {
+		return 0, 0, err
+	}
+	steps, err := svc.Rebalance(context.Background())
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, s := range steps {
+		if s.Result == nil {
+			return 0, 0, fmt.Errorf("cold rebalance did not admit job %q: %s", s.Job, s.Error)
+		}
+		explored += s.Result.Explored
+		hits += s.Result.CacheHits
 	}
 	return explored, hits, nil
 }

@@ -115,6 +115,27 @@ func (l *Ledger) ViewFor(job string) *cluster.Pool {
 	return view
 }
 
+// ViewForTypes is ViewFor restricted to the GPU types the job's profiled
+// System can actually plan with: the free view plus the job's own lease,
+// filtered to gpus *before* the per-job cap is applied, so the cap is spent
+// on usable cells only. An empty type list means no filter. Because the
+// filtered view is a pure function of the free counts in the job's own-type
+// cells, jobs whose type sets are disjoint see views that are independent
+// of each other's grants — the property Service.Rebalance's partitioned
+// pass relies on.
+func (l *Ledger) ViewForTypes(job string, gpus []core.GPUType) *cluster.Pool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	view := l.freeLocked(job)
+	if len(gpus) > 0 {
+		view = view.FilterTypes(gpus)
+	}
+	if l.jobCap > 0 {
+		view = view.CapTotal(l.jobCap)
+	}
+	return view
+}
+
 // SetJobCap bounds every lease to at most n GPUs (0 removes the cap).
 // Existing oversized leases are evicted in admission order and returned,
 // exactly as if capacity had shifted under them.

@@ -18,6 +18,7 @@ package planner
 // clone-per-combo implementation, so plans stay bit-identical.
 
 import (
+	"bytes"
 	"sort"
 	"strconv"
 
@@ -27,20 +28,25 @@ import (
 	"repro/internal/memory"
 )
 
-// replicaGroup is a homogeneous subset of one stage's DP replicas.
+// replicaGroup is a homogeneous subset of one stage's DP replicas. It is
+// deliberately pointer-free (the GPU type is carried as an index into the
+// region state's type table and resolved only at plan materialisation):
+// group compositions are copied throughout the DP's hottest loops, and
+// pointer-free copies take no write barriers and give the GC nothing to
+// scan in the group arenas.
 type replicaGroup struct {
 	typeIdx int
-	gpu     core.GPUType
 	count   int
 	tp      int
+	need    int // count*tp, precomputed for the hot availability filter
 }
 
-// stageChoice is the resource assignment for one stage: a region and the
-// composition of its D replicas.
+// stageChoice is the resource assignment for one stage: a region (an index
+// into the region state's bucket table; the name is resolved at plan
+// materialisation) and the composition of its D replicas.
 type stageChoice struct {
-	region     int
-	regionName string
-	groups     []replicaGroup
+	region int
+	groups []replicaGroup
 	// perMB is the per-microbatch fwd+bwd time of the slowest replica.
 	perMB float64
 	// sync is the estimated gradient all-reduce time for the stage.
@@ -49,11 +55,36 @@ type stageChoice struct {
 	rateUSD float64
 }
 
-// cloneGroups detaches a choice's group composition from the enumeration
+// allocGroups detaches a choice's group composition from the enumeration
 // scratch buffer, for choices that outlive one stageCombos generation
-// (memoized winners and budget-path nodes).
-func cloneGroups(groups []replicaGroup) []replicaGroup {
-	return append([]replicaGroup(nil), groups...)
+// (memoized winners and budget-path nodes). The copies are carved out of
+// chunked arenas owned by the task: a chunk is never grown in place once
+// handed out, so earlier copies stay valid for the life of the task while
+// the allocation count drops from one per winner to one per chunk.
+func (t *task) allocGroups(groups []replicaGroup) []replicaGroup {
+	const groupChunk = 4096
+	if len(t.groupArena)+len(groups) > cap(t.groupArena) {
+		n := groupChunk
+		if len(groups) > n {
+			n = len(groups)
+		}
+		t.groupArena = make([]replicaGroup, 0, n)
+	}
+	off := len(t.groupArena)
+	t.groupArena = append(t.groupArena, groups...)
+	return t.groupArena[off:len(t.groupArena):len(t.groupArena)]
+}
+
+// newNode hands out one zeroed dpNode from the task's chunked slab. Memo
+// entries and the warm cache hold references into the chunks, so a chunk is
+// never recycled — the slab only amortises the allocation count.
+func (t *task) newNode() *dpNode {
+	if len(t.nodeSlab) == 0 {
+		t.nodeSlab = make([]dpNode, 512)
+	}
+	n := &t.nodeSlab[0]
+	t.nodeSlab = t.nodeSlab[1:]
+	return n
 }
 
 // dpNode is the memoized solution of the suffix starting at one stage.
@@ -95,15 +126,24 @@ func appendChoiceSig(b []byte, c stageChoice) []byte {
 	return append(b, '|')
 }
 
-// sig is a stable signature of the node's choice chain, used only to break
-// exact metric ties deterministically (so it is computed lazily and the
-// cost never shows on the hot path).
-func (n *dpNode) sig() string {
-	var b []byte
-	for c := n; c != nil; c = c.next {
-		b = appendChoiceSig(b, c.choice)
+// sigLess reports whether chain a's signature orders before chain b's
+// without materialising either string. The pieces are rebuilt into two
+// scratch buffers owned by the task and compared one choice at a time,
+// which appendChoiceSig's unique terminator makes equivalent to comparing
+// the whole chain strings — no allocation per tie-break.
+func (t *task) sigLess(a, b *dpNode) bool {
+	for a != nil && b != nil {
+		t.sigA = appendChoiceSig(t.sigA[:0], a.choice)
+		t.sigB = appendChoiceSig(t.sigB[:0], b.choice)
+		if c := bytes.Compare(t.sigA, t.sigB); c != 0 {
+			return c < 0
+		}
+		a, b = a.next, b.next
 	}
-	return string(b)
+	// A chain that ends first is a proper prefix of the other, and orders
+	// before it (suffix chains compared by the DP always have equal length,
+	// so this is belt and braces).
+	return a == nil && b != nil
 }
 
 // nodeStats are the value-typed metrics of a candidate suffix node. The
@@ -139,12 +179,36 @@ func statsOf(c stageChoice, child *dpNode) nodeStats {
 }
 
 // materialise builds the node a winning (choice, child) pair stands for.
-func materialise(c stageChoice, child *dpNode, st nodeStats) *dpNode {
-	return &dpNode{
+func (t *task) materialise(c stageChoice, child *dpNode, st nodeStats) *dpNode {
+	n := t.newNode()
+	*n = dpNode{
 		choice: c, next: child,
 		straggler: st.straggler, sumTime: st.sumTime,
 		maxSync: st.maxSync, rateUSD: st.rateUSD,
 	}
+	return n
+}
+
+// memoGet probes the scan-local memo, routing inline-packed keys to the
+// pointer-free fast map.
+func (t *task) memoGet(k dpKey) (*dpNode, bool) {
+	if k.spill == "" {
+		return t.dpMemo.get(fastKey(k))
+	}
+	n, ok := t.dpMemoSpill[k]
+	return n, ok
+}
+
+// memoPut stores one memo entry, routing like memoGet.
+func (t *task) memoPut(k dpKey, n *dpNode) {
+	if k.spill == "" {
+		t.dpMemo.put(fastKey(k), n)
+		return
+	}
+	if t.dpMemoSpill == nil {
+		t.dpMemoSpill = map[dpKey]*dpNode{}
+	}
+	t.dpMemoSpill[k] = n
 }
 
 // solveDP assigns resources to stages i..P-1, starting the region scan at
@@ -160,7 +224,7 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 	memoized := budget <= 0 // unconstrained: memoization is sound
 	if memoized {
 		memoKey = rs.packedKey(i, ri)
-		if n, ok := t.dpMemo[memoKey]; ok {
+		if n, ok := t.memoGet(memoKey); ok {
 			return n
 		}
 		// Warm start: consult the snapshot of DP memos persisted by earlier
@@ -173,7 +237,7 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 			full := t.warmKey(memoKey)
 			if n, ok := t.s.warmDP[full]; ok {
 				t.warmHits++
-				t.dpMemo[memoKey] = n
+				t.memoPut(memoKey, n)
 				if t.pending == nil {
 					t.pending = map[warmDPKey]*dpNode{}
 				}
@@ -226,6 +290,9 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 			if t.s.expired() {
 				break
 			}
+			if have && t.domOn && t.dominated(choice, bestStats, i, pp, d, nb) {
+				continue
+			}
 			applyChoice(rs, choice)
 			var child *dpNode
 			ok := true
@@ -239,18 +306,23 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 			}
 			st := statsOf(choice, child)
 			if !have || t.statsBetter(st, choice, child, bestStats, bestChoice, bestChild, nb) {
-				// The winner escapes this stageCombos generation, so its
-				// groups leave the shared scratch buffer.
-				choice.groups = cloneGroups(choice.groups)
+				// The incumbent outlives this stageCombos generation, so
+				// its groups leave the shared scratch buffer — into the
+				// per-stage incumbent buffer, not the arena: incumbents
+				// are overwritten on every improvement, and only the one
+				// that survives to materialisation is worth detaching.
+				t.bestGBuf[i] = append(t.bestGBuf[i][:0], choice.groups...)
+				choice.groups = t.bestGBuf[i]
 				bestStats, bestChoice, bestChild, have = st, choice, child, true
 			}
 		}
 	}
 	if have {
-		best = materialise(bestChoice, bestChild, bestStats)
+		bestChoice.groups = t.allocGroups(bestChoice.groups)
+		best = t.materialise(bestChoice, bestChild, bestStats)
 	}
 	if memoized {
-		t.dpMemo[memoKey] = best
+		t.memoPut(memoKey, best)
 		if t.warmOn && !t.s.expired() {
 			// Persist only nodes from uncancelled exploration: a cut-off
 			// subtree may have skipped choices, and caching its partial
@@ -273,11 +345,11 @@ func (t *task) solveDP(rs *regionState, layers []int, i, ri, d, mbs, nb int, bud
 func (t *task) solveWithBudget(rs *regionState, layers []int, i, r, d, mbs, nb int, budget float64, choice stageChoice) *dpNode {
 	pp := len(layers)
 	// Nodes built here outlive the enumeration scratch.
-	choice.groups = cloneGroups(choice.groups)
+	choice.groups = t.allocGroups(choice.groups)
 	applyChoice(rs, choice)
 	defer undoChoice(rs, choice)
 	if i == pp-1 {
-		n := leafNode(choice)
+		n := t.leafNode(choice)
 		if n.costPerIter(nb) > budget {
 			return nil
 		}
@@ -294,7 +366,7 @@ func (t *task) solveWithBudget(rs *regionState, layers []int, i, r, d, mbs, nb i
 		if child == nil {
 			return nil
 		}
-		node := combine(choice, child)
+		node := t.combine(choice, child)
 		if node.costPerIter(nb) <= budget {
 			return node
 		}
@@ -308,49 +380,102 @@ func (t *task) solveWithBudget(rs *regionState, layers []int, i, r, d, mbs, nb i
 	return nil
 }
 
-func leafNode(c stageChoice) *dpNode {
-	return &dpNode{
+func (t *task) leafNode(c stageChoice) *dpNode {
+	n := t.newNode()
+	*n = dpNode{
 		choice: c, straggler: c.perMB, sumTime: c.perMB,
 		maxSync: c.sync, rateUSD: c.rateUSD,
 	}
+	return n
 }
 
-func combine(c stageChoice, child *dpNode) *dpNode {
-	return materialise(c, child, statsOf(c, child))
+func (t *task) combine(c stageChoice, child *dpNode) *dpNode {
+	return t.materialise(c, child, statsOf(c, child))
 }
 
 func applyChoice(rs *regionState, c stageChoice) {
 	for _, g := range c.groups {
-		rs.counts[c.region][g.typeIdx] -= g.count * g.tp
+		rs.addCount(c.region, g.typeIdx, -g.need)
 	}
 }
 
 func undoChoice(rs *regionState, c stageChoice) {
 	for _, g := range c.groups {
-		rs.counts[c.region][g.typeIdx] += g.count * g.tp
+		rs.addCount(c.region, g.typeIdx, g.need)
 	}
 }
 
-// stageCombos enumerates resource compositions for one stage in one region:
-// D replicas split across at most two GPU types (generate_combos in Listing
-// 1), with TP per type fixed by H2's minimum (plus one doubling, the
-// "scaling heuristic"). Without H2 every power-of-two TP is tried.
+// stageCombos returns the feasible resource compositions for one stage in
+// one region under the current availability. The scored composition list
+// is availability-independent — perMB, sync, and rateUSD are functions of
+// the stage shape, never of the remaining counts — so it is enumerated and
+// scored once per (stage, region) per DP-degree scan (buildCombos) and
+// each call only filters it against the live availability row. Filtering a
+// superset enumerated in the same nested order yields exactly the
+// sequence the unscanned enumeration produced, so every downstream
+// comparison sees the identical candidate stream.
 //
-// The returned slice and the group compositions inside it live in per-depth
-// scratch buffers owned by the task: they are valid until the next
-// stageCombos call at the same stage index. Callers clone what outlives
-// the current enumeration.
+// The returned slice lives in a per-depth scratch buffer owned by the
+// task: it is valid until the next stageCombos call at the same stage
+// index. The group compositions inside it live in the per-scan cache and
+// stay valid for the whole scan; callers clone what outlives the scan.
 func (t *task) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, nb int) []stageChoice {
+	// The cell arrays are sized here, not in init: a warm task whose scans
+	// are served from the snapshot never enumerates a combo, so it never
+	// pays for them.
+	if cells := pp * len(rs.regions); len(t.comboOK) < cells {
+		t.comboCache = make([][]stageChoice, cells)
+		t.comboGroups = make([][]replicaGroup, cells)
+		t.comboOK = make([]bool, cells)
+	}
+	idx := stage*len(rs.regions) + region
+	if !t.comboOK[idx] {
+		t.buildCombos(rs, region, layers, stage, pp, d, mbs, nb, idx)
+		t.comboOK[idx] = true
+	}
+	// Hoist the region's availability row: the state is not mutated while
+	// one filter pass runs, so the per-combo feasibility checks below read
+	// a flat row instead of re-unpacking lanes per group. Groups within
+	// one composition use distinct types, so a per-group check equals the
+	// summed check.
+	avail := t.availBuf[:0]
+	for ti := range rs.types {
+		avail = append(avail, rs.count(region, ti))
+	}
+	t.availBuf = avail
+	cache := t.comboCache[idx]
+	out := t.combosBuf[stage][:0]
+	for ci := range cache {
+		c := &cache[ci]
+		ok := true
+		for _, g := range c.groups {
+			if avail[g.typeIdx] < g.need {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, *c)
+		}
+	}
+	t.combosBuf[stage] = out
+	return out
+}
+
+// buildCombos enumerates and scores every composition for one stage in one
+// region, ignoring availability: D replicas split across at most two GPU
+// types (generate_combos in Listing 1), with TP per type fixed by H2's
+// minimum (plus one doubling, the "scaling heuristic"). Without H2 every
+// power-of-two TP is tried. Compositions the evaluator rejects (no timing,
+// OOM) are dropped here; availability is the caller's filter.
+func (t *task) buildCombos(rs *regionState, region, layers, stage, pp, d, mbs, nb, idx int) {
 	opts := t.optsBuf[:0]
 	tps := t.tpsBuf[:0]
 	for ti, g := range rs.types {
-		if rs.counts[region][ti] <= 0 {
-			continue
-		}
 		nodeGPUs := t.s.nodeCap[ti]
 		start := len(tps)
 		if t.pl.Opts.Heuristics.H2MinTP {
-			min := t.minTP(g, layers, stage, pp, mbs, nb)
+			min := t.minTP(g, ti, layers, stage, pp, mbs, nb)
 			if min == 0 {
 				continue // cannot fit this stage on this type at all
 			}
@@ -367,16 +492,9 @@ func (t *task) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, n
 	}
 	t.optsBuf, t.tpsBuf = opts, tps
 
-	out := t.combosBuf[stage][:0]
-	arena := t.groupsBuf[stage][:0]
+	out := t.comboCache[idx][:0]
+	arena := t.comboGroups[idx][:0]
 	emit := func(groups []replicaGroup) {
-		// Verify availability. Groups within one composition use distinct
-		// types, so a per-group check equals the summed check.
-		for _, g := range groups {
-			if rs.counts[region][g.typeIdx] < g.count*g.tp {
-				return
-			}
-		}
 		c, ok := t.scoreChoice(rs, region, groups, layers, stage, pp, mbs, d)
 		if ok {
 			out = append(out, c)
@@ -386,7 +504,7 @@ func (t *task) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, n
 	for _, o := range opts {
 		for _, tp := range tps[o.lo:o.hi] {
 			start := len(arena)
-			arena = append(arena, replicaGroup{typeIdx: o.ti, count: d, tp: tp})
+			arena = append(arena, replicaGroup{typeIdx: o.ti, count: d, tp: tp, need: d * tp})
 			emit(arena[start:len(arena):len(arena)])
 		}
 	}
@@ -418,16 +536,15 @@ func (t *task) stageCombos(rs *regionState, region, layers, stage, pp, d, mbs, n
 					for _, k := range ks[:nks] {
 						start := len(arena)
 						arena = append(arena,
-							replicaGroup{typeIdx: opts[ai].ti, count: k, tp: tpa},
-							replicaGroup{typeIdx: opts[bi].ti, count: d - k, tp: tpb})
+							replicaGroup{typeIdx: opts[ai].ti, count: k, tp: tpa, need: k * tpa},
+							replicaGroup{typeIdx: opts[bi].ti, count: d - k, tp: tpb, need: (d - k) * tpb})
 						emit(arena[start:len(arena):len(arena)])
 					}
 				}
 			}
 		}
 	}
-	t.combosBuf[stage], t.groupsBuf[stage] = out, arena
-	return out
+	t.comboCache[idx], t.comboGroups[idx] = out, arena
 }
 
 // typeOption indexes one GPU type's candidate TP degrees inside the shared
@@ -440,11 +557,8 @@ type typeOption struct {
 // scoreChoice computes the per-stage DP metrics for a composition, serving
 // every repeated evaluator query from the per-task caches.
 func (t *task) scoreChoice(rs *regionState, region int, groups []replicaGroup, layers, stage, pp, mbs, d int) (stageChoice, bool) {
-	c := stageChoice{region: region, regionName: rs.regions[region], groups: groups}
+	c := stageChoice{region: region, groups: groups}
 	minTP := 0
-	for gi := range groups {
-		groups[gi].gpu = rs.types[groups[gi].typeIdx]
-	}
 	for _, g := range groups {
 		tm, ok := t.stageTimeAt(stage, g.typeIdx, g.tp)
 		if !ok {
@@ -587,16 +701,25 @@ func (t *task) dpSyncTimeAt(stage, minTP, d int) float64 {
 // the pipeline depth, so the cache key does not include nb beyond that cap
 // (the paper notes the minimum is independent of availability and reusable
 // across replans).
-func (t *task) minTP(g core.GPUType, layers, stage, pp, mbs, nb int) int {
+func (t *task) minTP(g core.GPUType, ti, layers, stage, pp, mbs, nb int) int {
 	if nb > pp {
 		nb = pp
 	}
-	k := minTPKey{g, layers, stage, pp, mbs, nb, t.recompute}
-	if v, ok := t.s.minTP.get(k); ok {
-		return v
+	// Dense per-task front for the sharded search-wide cache: pp, mbs and
+	// recompute are fixed within a task and layers is a function of stage,
+	// so (stage, ti, capped nb) is a complete key and the common case is
+	// one array load instead of a hash, a lock and a map probe.
+	idx := (stage*len(t.s.rs.types)+ti)*(pp+1) + nb
+	if v := t.minTPT[idx]; v >= 0 {
+		return int(v)
 	}
-	v := memory.MinTPWith(t.pl.Cfg, g, layers, stage, pp, mbs, nb, t.recompute)
-	t.s.minTP.put(k, v)
+	k := minTPKey{g, layers, stage, pp, mbs, nb, t.recompute}
+	v, ok := t.s.minTP.get(k)
+	if !ok {
+		v = memory.MinTPWith(t.pl.Cfg, g, layers, stage, pp, mbs, nb, t.recompute)
+		t.s.minTP.put(k, v)
+	}
+	t.minTPT[idx] = int16(v)
 	return v
 }
 
@@ -624,14 +747,16 @@ func (t *task) buildPlan(node *dpNode, layers []int, mbs int, origPool *cluster.
 			return core.Plan{}, false
 		}
 		ch := cur.choice
+		regionName := t.s.rs.regions[ch.region]
 		st := core.StagePlan{FirstLayer: first, NumLayers: layers[i]}
 		for _, g := range ch.groups {
+			gpu := t.s.rs.types[g.typeIdx]
 			for r := 0; r < g.count; r++ {
-				z, ok := pickZone(remain, zonesByRegion, ch.regionName, g.gpu, g.tp)
+				z, ok := pickZone(remain, zonesByRegion, regionName, gpu, g.tp)
 				if !ok {
 					return core.Plan{}, false
 				}
-				st.Replicas = append(st.Replicas, core.StageReplica{GPU: g.gpu, TP: g.tp, Zone: z})
+				st.Replicas = append(st.Replicas, core.StageReplica{GPU: gpu, TP: g.tp, Zone: z})
 			}
 		}
 		plan.Stages = append(plan.Stages, st)

@@ -117,6 +117,11 @@ type Options struct {
 	// the warm-cache fingerprint: cached entries are pure functions of
 	// their keys and remain valid under either setting.
 	DisableBoundPruning bool
+	// DisableDominancePruning turns off the dominance pruning of stage
+	// compositions inside the DP (see dominance.go). Also exact and also
+	// excluded from the warm-cache fingerprint; exists for ablations and
+	// for measuring the dominance filter's effect on Explored.
+	DisableDominancePruning bool
 }
 
 // Result is the planner's output plus search telemetry.

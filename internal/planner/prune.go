@@ -102,8 +102,8 @@ func (s *search) evalBoundsFor(mbs int, recompute bool) evalBounds {
 	var b evalBounds
 	for ti, g := range s.rs.types {
 		avail := false
-		for _, row := range s.rs.counts {
-			if row[ti] > 0 {
+		for ri := range s.rs.regions {
+			if s.rs.count(ri, ti) > 0 {
 				avail = true
 				break
 			}

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"bytes"
 	"context"
 	"sync"
 	"sync/atomic"
@@ -259,7 +260,13 @@ type task struct {
 	s  *search
 	pl *Planner
 
-	dpMemo map[dpKey]*dpNode
+	// dpMemo holds the scan-local memo for inline-packed states (the
+	// common case; its pointer-free key and open-addressed layout make the
+	// probe — the DP's hottest instruction stream — a three-word hash and
+	// a linear scan of adjacent slots). dpMemoSpill is the fallback for
+	// pools whose availability does not pack into the key words.
+	dpMemo      dpTable
+	dpMemoSpill map[dpKey]*dpNode
 	// costLean flips the DP's comparison to prefer cheap stages over fast
 	// ones; the budget fallback uses it for its second pass.
 	costLean bool
@@ -285,12 +292,41 @@ type task struct {
 	explored int64
 	warmHits int64
 
+	// Dominance pruning inputs (see dominance.go): suffix sums and maxima
+	// of the partition's per-stage time floors, plus the cheapest GPU rate
+	// for the cost-lean comparison.
+	domOn      bool
+	domMinRate float64
+	domSufSum  []float64
+	domSufMax  []float64
+
+	// Allocation recycling for the DP's escaping values: nodeSlab hands out
+	// dpNodes from chunked backing arrays and groupArena does the same for
+	// winning group compositions. Handed-out entries are never overwritten
+	// within a task's lifetime (memo entries and the warm cache hold
+	// references into the chunks) — the chunks only amortise the allocation
+	// count. sigA/sigB are the scratch buffers of the piecewise signature
+	// tie-breaks.
+	nodeSlab   []dpNode
+	groupArena []replicaGroup
+	sigA, sigB []byte
+
 	// Per-depth enumeration scratch (see stageCombos) and dense per-task
 	// caches of pure evaluator queries, indexed by (stage, type, log2 tp).
 	combosBuf [][]stageChoice
-	groupsBuf [][]replicaGroup
+	// comboCache/comboGroups/comboOK hold, per (stage, region), the scored
+	// availability-independent composition list of the current DP-degree
+	// scan (see buildCombos); resetMemo invalidates them scan-by-scan.
+	comboCache  [][]stageChoice
+	comboGroups [][]replicaGroup
+	comboOK     []bool
+	// bestGBuf holds each stage's incumbent winner composition while the
+	// combos loop runs; only the surviving winner is detached into the
+	// group arena at materialisation.
+	bestGBuf  [][]replicaGroup
 	optsBuf   []typeOption
 	tpsBuf    []int
+	availBuf  []int
 	estBuf    []byte
 	partition []int
 	stageT    []float64
@@ -298,6 +334,9 @@ type task struct {
 	fitTok    []uint8
 	syncT     []float64
 	syncTok   []uint8
+	// minTPT is the dense per-task front of the shared H2 cache, indexed
+	// by (stage, type, in-flight count capped at pp); -1 marks empty.
+	minTPT []int16
 }
 
 // init sizes the task's scratch buffers and dense caches for one layer
@@ -306,7 +345,10 @@ func (t *task) init(rs *regionState, layers []int) {
 	pp := len(layers)
 	if len(t.combosBuf) < pp {
 		t.combosBuf = make([][]stageChoice, pp)
-		t.groupsBuf = make([][]replicaGroup, pp)
+		t.bestGBuf = make([][]replicaGroup, pp)
+		for i := range t.bestGBuf {
+			t.bestGBuf[i] = make([]replicaGroup, 0, 4)
+		}
 	}
 	t.partition = layers
 	n := pp * len(rs.types) * taskTPSlots
@@ -315,6 +357,11 @@ func (t *task) init(rs *regionState, layers []int) {
 	t.fitTok = make([]uint8, n)
 	t.syncT = make([]float64, pp*taskTPSlots)
 	t.syncTok = make([]uint8, pp*taskTPSlots)
+	t.minTPT = make([]int16, pp*len(rs.types)*(pp+1))
+	for i := range t.minTPT {
+		t.minTPT[i] = -1
+	}
+	t.initDominance(layers)
 	if t.s.warmOn {
 		t.warmOn = true
 		t.scan = warmDPKey{shape: t.s.shape, pp: int32(pp), mbs: int32(t.mbs)}
@@ -333,9 +380,18 @@ func (t *task) warmKey(k dpKey) warmDPKey {
 // and the persisted-key prefix is recomputed from the scan parameters.
 // Callers set costLean/recompute before calling.
 func (t *task) resetMemo(d, nb int) {
-	t.dpMemo = map[dpKey]*dpNode{}
+	// The table's slots are reused across scans (reset bumps its epoch, so
+	// later scans insert without re-growing); entries never leak between
+	// scans because stale epochs read as vacant.
+	t.dpMemo.reset()
+	if t.dpMemoSpill != nil {
+		clear(t.dpMemoSpill)
+	}
 	for i := range t.syncTok {
 		t.syncTok[i] = cacheEmpty
+	}
+	for i := range t.comboOK {
+		t.comboOK[i] = false
 	}
 	if t.warmOn {
 		t.scan.d, t.scan.nb = int32(d), int32(nb)
@@ -517,7 +573,7 @@ func (t *task) nodeBetter(a, b *dpNode, nb int) bool {
 	if a.rateUSD != b.rateUSD {
 		return a.rateUSD < b.rateUSD
 	}
-	return a.sig() < b.sig()
+	return t.sigLess(a, b)
 }
 
 // statsBetter is nodeBetter over a not-yet-materialised candidate (aStats,
@@ -538,13 +594,13 @@ func (t *task) statsBetter(aStats nodeStats, aChoice stageChoice, aChild *dpNode
 	if aStats.rateUSD != bStats.rateUSD {
 		return aStats.rateUSD < bStats.rateUSD
 	}
-	ea := string(appendChoiceSig(nil, aChoice))
-	eb := string(appendChoiceSig(nil, bChoice))
-	if ea != eb {
-		return ea < eb
+	t.sigA = appendChoiceSig(t.sigA[:0], aChoice)
+	t.sigB = appendChoiceSig(t.sigB[:0], bChoice)
+	if c := bytes.Compare(t.sigA, t.sigB); c != 0 {
+		return c < 0
 	}
 	if aChild == nil || bChild == nil {
 		return false // identical leaf chains: not better
 	}
-	return aChild.sig() < bChild.sig()
+	return t.sigLess(aChild, bChild)
 }

@@ -14,14 +14,55 @@ import (
 )
 
 // regionState indexes the pool for the DP: available GPU counts per
-// (region bucket, GPU type).
+// (region bucket, GPU type). The live representation is a bitset-packed
+// lane vector — one 16-bit lane per cell, four lanes per word, in matrix
+// order — so the availability mutations of the DP's hot loop
+// (applyChoice/undoChoice) are single-word shift arithmetic and the memo
+// key (dpKey) is built by copying the words verbatim instead of re-packing
+// cell by cell. Pools whose counts overflow a lane fall back to a plain
+// matrix (wide); every pool in the evaluation fits the lanes.
 type regionState struct {
 	regions []string
 	types   []core.GPUType
-	// counts[ri][ti] = available GPUs.
-	counts [][]int
-	zones  []core.Zone // one synthetic zone per region
+	// words holds the availability lanes: cell ri*len(types)+ti lives in
+	// words[cell/4] at bit offset (cell%4)*16.
+	words []uint64
+	// wide is the fallback matrix, non-nil only when some count >= 1<<16.
+	wide  [][]int
+	zones []core.Zone // one synthetic zone per region
 }
+
+// laneShift returns the in-word bit offset of a cell.
+func laneShift(cell int) uint { return uint(cell&3) * 16 }
+
+// count reads one availability cell.
+func (rs *regionState) count(ri, ti int) int {
+	if rs.wide != nil {
+		return rs.wide[ri][ti]
+	}
+	cell := ri*len(rs.types) + ti
+	return int(rs.words[cell>>2] >> laneShift(cell) & 0xffff)
+}
+
+// addCount adjusts one availability cell. Lanes never borrow or carry into
+// a neighbour: subtractions are bounded by the availability checks the DP
+// performs before applying a choice, and additions only restore counts that
+// fit the lane when the state was built.
+func (rs *regionState) addCount(ri, ti, delta int) {
+	if rs.wide != nil {
+		rs.wide[ri][ti] += delta
+		return
+	}
+	cell := ri*len(rs.types) + ti
+	if delta >= 0 {
+		rs.words[cell>>2] += uint64(delta) << laneShift(cell)
+	} else {
+		rs.words[cell>>2] -= uint64(-delta) << laneShift(cell)
+	}
+}
+
+// cells is the number of (region, type) availability cells.
+func (rs *regionState) cells() int { return len(rs.regions) * len(rs.types) }
 
 // newRegionState indexes the pool for the DP. With mergeZones (H6) the
 // search granularity is one bucket per region; without it every zone is its
@@ -33,6 +74,7 @@ func newRegionState(p *cluster.Pool, mergeZones bool) *regionState {
 		typeIdx[g] = len(rs.types)
 		rs.types = append(rs.types, g)
 	}
+	var counts [][]int
 	bucketIdx := map[string]int{}
 	for _, z := range p.Zones() {
 		name := z.Region
@@ -44,11 +86,29 @@ func newRegionState(p *cluster.Pool, mergeZones bool) *regionState {
 			ri = len(rs.regions)
 			bucketIdx[name] = ri
 			rs.regions = append(rs.regions, name)
-			rs.counts = append(rs.counts, make([]int, len(rs.types)))
+			counts = append(counts, make([]int, len(rs.types)))
 			rs.zones = append(rs.zones, core.Zone{Region: z.Region, Name: name})
 		}
 		for ti, g := range rs.types {
-			rs.counts[ri][ti] += p.Available(z, g)
+			counts[ri][ti] += p.Available(z, g)
+		}
+	}
+	fits := true
+	for _, row := range counts {
+		for _, c := range row {
+			if uint(c) >= 1<<16 {
+				fits = false
+			}
+		}
+	}
+	if !fits {
+		rs.wide = counts
+		return rs
+	}
+	rs.words = make([]uint64, (rs.cells()+3)/4)
+	for ri, row := range counts {
+		for ti, c := range row {
+			rs.addCount(ri, ti, c)
 		}
 	}
 	return rs
@@ -56,20 +116,31 @@ func newRegionState(p *cluster.Pool, mergeZones bool) *regionState {
 
 func (rs *regionState) totalGPUs() int {
 	n := 0
-	for _, row := range rs.counts {
-		for _, c := range row {
-			n += c
+	if rs.wide != nil {
+		for _, row := range rs.wide {
+			for _, c := range row {
+				n += c
+			}
 		}
+		return n
+	}
+	for _, w := range rs.words {
+		// Unused tail lanes of the last word are zero.
+		n += int(w&0xffff) + int(w>>16&0xffff) + int(w>>32&0xffff) + int(w>>48&0xffff)
 	}
 	return n
 }
 
 func (rs *regionState) clone() *regionState {
 	c := &regionState{regions: rs.regions, types: rs.types, zones: rs.zones}
-	c.counts = make([][]int, len(rs.counts))
-	for i, row := range rs.counts {
-		c.counts[i] = append([]int(nil), row...)
+	if rs.wide != nil {
+		c.wide = make([][]int, len(rs.wide))
+		for i, row := range rs.wide {
+			c.wide[i] = append([]int(nil), row...)
+		}
+		return c
 	}
+	c.words = append([]uint64(nil), rs.words...)
 	return c
 }
 
@@ -113,37 +184,42 @@ type dpKey struct {
 	spill string
 }
 
+// dpFastKey is the memo key of the common case — availability packed inline
+// in the dpKey words. It is pointer-free, so hashing touches nothing beyond
+// the 24-byte struct and equality is three word compares; the spill-backed
+// dpKey map is only consulted for pools too wide to pack.
+type dpFastKey struct {
+	w0, w1 uint64
+	meta   uint64 // stage | ri<<16 | n<<32
+}
+
+// fastKey converts an inline-packed dpKey; callers check spill == "" first.
+func fastKey(k dpKey) dpFastKey {
+	return dpFastKey{w0: k.w0, w1: k.w1,
+		meta: uint64(k.stage) | uint64(k.ri)<<16 | uint64(k.n)<<32}
+}
+
 // packedKey builds the memo key for (stage, ri) over the current counts.
+// The packed representation makes the common case a straight word copy: the
+// live availability lanes already use the dpKey layout, so pools with at
+// most dpKeyCells cells need no per-cell packing at all.
 func (rs *regionState) packedKey(stage, ri int) dpKey {
-	k := dpKey{stage: uint16(stage), ri: uint16(ri)}
-	idx := 0
-	fits := true
-	for _, row := range rs.counts {
-		for _, c := range row {
-			if idx < dpKeyCells && uint(c) < 1<<16 {
-				sh := uint(idx&3) * 16
-				if idx < 4 {
-					k.w0 |= uint64(c) << sh
-				} else {
-					k.w1 |= uint64(c) << sh
-				}
-			} else {
-				fits = false
-			}
-			idx++
+	cells := rs.cells()
+	k := dpKey{stage: uint16(stage), ri: uint16(ri), n: uint16(cells)}
+	if rs.wide == nil && cells <= dpKeyCells {
+		k.w0 = rs.words[0]
+		if len(rs.words) > 1 {
+			k.w1 = rs.words[1]
+		}
+		return k
+	}
+	buf := make([]byte, 0, 4*cells)
+	for ri := range rs.regions {
+		for ti := range rs.types {
+			buf = binary.AppendVarint(buf, int64(rs.count(ri, ti)))
 		}
 	}
-	k.n = uint16(idx)
-	if !fits {
-		buf := make([]byte, 0, 4*idx)
-		for _, row := range rs.counts {
-			for _, c := range row {
-				buf = binary.AppendVarint(buf, int64(c))
-			}
-		}
-		k.w0, k.w1 = 0, 0
-		k.spill = string(buf)
-	}
+	k.spill = string(buf)
 	return k
 }
 

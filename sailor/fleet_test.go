@@ -2,12 +2,15 @@ package sailor
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // TestFleetSoloParity is the no-contention determinism acceptance test: a
@@ -252,6 +255,233 @@ func TestServiceJobLifecycleRaces(t *testing.T) {
 				t.Errorf("InFlight = %d after quiescence", st.InFlight)
 			}
 		})
+	}
+}
+
+// canonicalSteps renders a Rebalance step list with the one wall-clock
+// field (each result's search time) zeroed, so step streams from different
+// configurations compare byte-for-byte.
+func canonicalSteps(t *testing.T, steps []RebalanceStep) string {
+	t.Helper()
+	out := make([]RebalanceStep, len(steps))
+	for i, s := range steps {
+		if s.Result != nil {
+			r := *s.Result
+			r.SearchTimeNS = 0
+			s.Result = &r
+		}
+		out[i] = s
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// canonicalFleet renders a service's full fleet snapshot — including the
+// ledger version and every lease's acquired version, i.e. the ledger's
+// whole mutation trajectory — for byte comparison.
+func canonicalFleet(t *testing.T, svc *Service) string {
+	t.Helper()
+	st, err := svc.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSoloCandidates pins the rebalance conflict partitioning: candidates
+// are solo exactly when they share no fleet-capacity GPU type with any
+// other candidate.
+func TestSoloCandidates(t *testing.T) {
+	zone := GCPZone("us-central1", 'a')
+	cand := func(name string, gpus ...GPUType) rebalCand {
+		return rebalCand{name: name, j: &serviceJob{gpus: gpus}}
+	}
+	cases := []struct {
+		name  string
+		pool  *Pool
+		cands []rebalCand
+		want  []bool // nil = everything conflicts
+	}{
+		{
+			name:  "disjoint-types",
+			pool:  NewPool().Set(zone, A100, 8).Set(zone, V100, 8),
+			cands: []rebalCand{cand("a", A100), cand("b", V100)},
+			want:  []bool{true, true},
+		},
+		{
+			name:  "same-type",
+			pool:  NewPool().Set(zone, A100, 8),
+			cands: []rebalCand{cand("a", A100), cand("b", A100)},
+			want:  nil,
+		},
+		{
+			name: "mixed",
+			pool: NewPool().Set(zone, A100, 8).Set(zone, V100, 8),
+			cands: []rebalCand{
+				cand("a", A100), cand("b", A100), cand("c", V100)},
+			want: []bool{false, false, true},
+		},
+		{
+			name: "bridge-job-joins-partitions",
+			pool: NewPool().Set(zone, A100, 8).Set(zone, V100, 8),
+			cands: []rebalCand{
+				cand("a", A100), cand("b", A100, V100), cand("c", V100)},
+			want: nil,
+		},
+		{
+			name: "type-without-capacity-is-unreachable",
+			pool: NewPool().Set(zone, A100, 8),
+			// b's V100 has no fleet capacity, so b reaches nothing and a is
+			// the only A100 user: both are solo.
+			cands: []rebalCand{cand("a", A100), cand("b", V100)},
+			want:  []bool{true, true},
+		},
+		{
+			name: "duplicate-types-in-one-job",
+			pool: NewPool().Set(zone, A100, 8),
+			// a listing A100 twice must not count as two users.
+			cands: []rebalCand{cand("a", A100, A100), cand("b", V100)},
+			want:  []bool{true, true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			led := fleet.NewLedger(tc.pool)
+			got := soloCandidates(led, tc.cands)
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("soloCandidates = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRebalancePartitionedDeterminism is the parallel-rebalance acceptance
+// on a fleet where the partitioning actually engages: three jobs on three
+// disjoint GPU types admit, get preempted, and re-admit. At every pass the
+// partitioned (default) service's step stream and full fleet snapshot —
+// including the ledger version trajectory — must byte-equal the
+// SequentialRebalance service's, at workers=1 and workers=8.
+func TestRebalancePartitionedDeterminism(t *testing.T) {
+	zone := GCPZone("us-central1", 'a')
+	types := []GPUType{A100, V100, RTX3090}
+	build := func(sequential bool, workers int) *Service {
+		led := NewLedger(NewPool().
+			Set(zone, A100, 16).Set(zone, V100, 16).Set(zone, RTX3090, 16))
+		svc := NewService(ServiceConfig{Workers: workers, MaxConcurrent: 4,
+			Fleet: led, SequentialRebalance: sequential})
+		for i, g := range types {
+			if err := svc.OpenJob(fmt.Sprintf("job-%d", i), OPT350M(),
+				[]GPUType{g}, len(types)-i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return svc
+	}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			seq := build(true, workers)
+			par := build(false, workers)
+			ctx := context.Background()
+			both := func(phase string, ev ...TraceEvent) {
+				t.Helper()
+				for _, svc := range []*Service{seq, par} {
+					for _, e := range ev {
+						if _, err := svc.FleetEvent(e); err != nil {
+							t.Fatalf("%s: %v", phase, err)
+						}
+					}
+				}
+				s1, err1 := seq.Rebalance(ctx)
+				s2, err2 := par.Rebalance(ctx)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: sequential err %v, partitioned err %v", phase, err1, err2)
+				}
+				if a, b := canonicalSteps(t, s1), canonicalSteps(t, s2); a != b {
+					t.Errorf("%s: step streams diverged:\n%s\nvs\n%s", phase, a, b)
+				}
+				if a, b := canonicalFleet(t, seq), canonicalFleet(t, par); a != b {
+					t.Errorf("%s: fleet snapshots diverged:\n%s\nvs\n%s", phase, a, b)
+				}
+			}
+			// Cold admission: all three partitions search concurrently.
+			both("admit")
+			// A capacity loss empties one partition and shrinks another:
+			// the emptied job's search must fail identically in both modes.
+			both("shrink",
+				TraceEvent{At: time.Hour, Zone: zone, GPU: V100, Delta: -16},
+				TraceEvent{At: time.Hour, Zone: zone, GPU: RTX3090, Delta: -8})
+			// Recovery: the waiting jobs replan warm.
+			both("recover",
+				TraceEvent{At: 2 * time.Hour, Zone: zone, GPU: V100, Delta: 16},
+				TraceEvent{At: 2 * time.Hour, Zone: zone, GPU: RTX3090, Delta: 8})
+		})
+	}
+}
+
+// TestFleetScenarioSequentialParity replays both fleet golden scenarios
+// (the contending jobs all share one GPU type, so the partitioned pass must
+// detect the conflict and fall back) at workers=1 and workers=8: the step
+// streams and fleet snapshots of the default service must byte-equal the
+// SequentialRebalance service's after every event batch.
+func TestFleetScenarioSequentialParity(t *testing.T) {
+	cases := []struct {
+		scenario string
+		jobs     int
+	}{
+		{"preemption-storm", 3},
+		{"zone-outage", 2},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.scenario, workers), func(t *testing.T) {
+				sc, ok := ScenarioByName(tc.scenario)
+				if !ok {
+					t.Fatalf("scenario %q not registered", tc.scenario)
+				}
+				tr := sc.TraceWith(1, ScenarioOpts{})
+				cap := sc.Defaults.Base / 2
+				build := func(sequential bool) *Service {
+					led := NewLedger(NewPool())
+					led.SetJobCap(cap)
+					svc := NewService(ServiceConfig{Workers: workers, MaxConcurrent: 4,
+						Fleet: led, SequentialRebalance: sequential})
+					for i := 0; i < tc.jobs; i++ {
+						if err := svc.OpenJob(fmt.Sprintf("job-%d", i), OPT350M(),
+							sc.GPUs, tc.jobs-i); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return svc
+				}
+				seq, par := build(true), build(false)
+				ctx := context.Background()
+				for i, ev := range tr.Events {
+					for _, svc := range []*Service{seq, par} {
+						if _, err := svc.FleetEvent(ev); err != nil {
+							t.Fatal(err)
+						}
+					}
+					s1, err1 := seq.Rebalance(ctx)
+					s2, err2 := par.Rebalance(ctx)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("event %d: sequential err %v, partitioned err %v", i, err1, err2)
+					}
+					if a, b := canonicalSteps(t, s1), canonicalSteps(t, s2); a != b {
+						t.Fatalf("event %d: step streams diverged:\n%s\nvs\n%s", i, a, b)
+					}
+					if a, b := canonicalFleet(t, seq), canonicalFleet(t, par); a != b {
+						t.Fatalf("event %d: fleet snapshots diverged:\n%s\nvs\n%s", i, a, b)
+					}
+				}
+			})
+		}
 	}
 }
 

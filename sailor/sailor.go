@@ -297,6 +297,11 @@ type System struct {
 	// is identical either way — so leave this false outside measurements.
 	DisablePruning bool
 
+	// DisableDominancePruning turns off the planner's dominance pruning of
+	// stage compositions — the same ablation contract as DisablePruning:
+	// exact, so the chosen plan is identical either way.
+	DisableDominancePruning bool
+
 	simulator *sim.Simulator
 	gt        *groundtruth.Engine
 	// warm persists planner state across Replan calls (one cache per
@@ -308,10 +313,11 @@ type System struct {
 type Option func(*options)
 
 type options struct {
-	profSeed  uint64
-	gtSeed    uint64
-	workers   int
-	noPruning bool
+	profSeed    uint64
+	gtSeed      uint64
+	workers     int
+	noPruning   bool
+	noDominance bool
 }
 
 // WithSeed fixes the deterministic seeds of the synthetic profiler noise
@@ -331,6 +337,13 @@ func WithoutBoundPruning() Option {
 	return func(o *options) { o.noPruning = true }
 }
 
+// WithoutDominancePruning disables the planner's exact dominance pruning of
+// stage compositions — an ablation/measurement knob; plans are identical
+// either way.
+func WithoutDominancePruning() Option {
+	return func(o *options) { o.noDominance = true }
+}
+
 // New profiles the model on every GPU type of the resource pool (§4.1) and
 // returns a ready System. Profiling is synthetic in this reproduction; see
 // DESIGN.md for the substitution.
@@ -346,13 +359,14 @@ func New(m Model, gpus []GPUType, opts ...Option) (*System, error) {
 	gt := groundtruth.New(m)
 	gt.Seed = o.gtSeed
 	return &System{
-		Model:          m,
-		Profile:        prof,
-		Workers:        o.workers,
-		DisablePruning: o.noPruning,
-		simulator:      sim.New(m, prof),
-		gt:             gt,
-		warm:           planner.NewWarmCache(),
+		Model:                   m,
+		Profile:                 prof,
+		Workers:                 o.workers,
+		DisablePruning:          o.noPruning,
+		DisableDominancePruning: o.noDominance,
+		simulator:               sim.New(m, prof),
+		gt:                      gt,
+		warm:                    planner.NewWarmCache(),
 	}, nil
 }
 
@@ -366,11 +380,12 @@ func (s *System) workerCount() int {
 
 func (s *System) plannerOpts(obj Objective, cons Constraints, workers int) planner.Options {
 	return planner.Options{
-		Objective:           obj,
-		Constraints:         cons,
-		Heuristics:          planner.AllHeuristics(),
-		Workers:             workers,
-		DisableBoundPruning: s.DisablePruning,
+		Objective:               obj,
+		Constraints:             cons,
+		Heuristics:              planner.AllHeuristics(),
+		Workers:                 workers,
+		DisableBoundPruning:     s.DisablePruning,
+		DisableDominancePruning: s.DisableDominancePruning,
 	}
 }
 

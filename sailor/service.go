@@ -90,6 +90,14 @@ type ServiceConfig struct {
 	// via FleetEvent preempt leases in deterministic admission order; and
 	// Rebalance replans every leaseless job, warm, in priority order.
 	Fleet *fleet.Ledger
+	// SequentialRebalance forces Rebalance to replan every job in one
+	// goroutine, strictly in admission order — the pre-partitioning
+	// behavior. The default (false) searches jobs whose reachable fleet
+	// cells are disjoint concurrently and commits their leases in the same
+	// admission order, which produces byte-identical steps, plans, and
+	// ledger trajectories (asserted by TestRebalancePartitionedDeterminism);
+	// the knob exists for ablation and bisection.
+	SequentialRebalance bool
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -180,6 +188,10 @@ type serviceJob struct {
 	sys  *System
 	warm *planner.WarmCache
 
+	// gpus is the job's declared GPU-type set: the cells of the fleet its
+	// searches may draw from (fleet views are filtered to these types) and
+	// the key of the rebalance conflict partitioning.
+	gpus     []GPUType
 	priority int
 	// lastPlan/lastObj/lastCons are the job's most recent successful
 	// request, guarded by Service.mu.
@@ -250,7 +262,7 @@ func (s *Service) OpenJob(job string, m Model, gpus []GPUType, priority int) err
 		s.systems.put(key, sys)
 	}
 	s.jobs[job] = &serviceJob{sys: sys, warm: planner.NewWarmCache(),
-		priority: priority, lastObj: MaxThroughput}
+		gpus: append([]GPUType(nil), gpus...), priority: priority, lastObj: MaxThroughput}
 	return nil
 }
 
@@ -373,56 +385,74 @@ func (s *Service) recordPlan(j *serviceJob, plan Plan, obj Objective, cons Const
 // retries against a fresh view a few times before giving up with
 // ErrLeaseConflict.
 func (s *Service) planFleet(ctx context.Context, name string, j *serviceJob, led *fleet.Ledger, prev Plan, warm bool, obj Objective, cons Constraints) (PlanResult, error) {
-	sys := j.sys
 	const attempts = 3
 	var lastErr error
 	for a := 0; a < attempts; a++ {
-		view := led.ViewFor(name)
-		if view.TotalGPUs() == 0 {
-			return PlanResult{}, fmt.Errorf("sailor: fleet has no free capacity for job %q", name)
-		}
-		opts := sys.plannerOpts(obj, cons, sys.workerCount())
-		opts.Guard = planner.NewCapacityGuard(view)
-		if warm {
-			opts.Warm = j.warm
-		}
-		pl := planner.New(sys.Model, sys.simulator, opts)
-		var res PlanResult
-		var err error
-		if warm && len(prev.Stages) > 0 {
-			res, err = pl.ReplanContext(ctx, prev, view)
-		} else {
-			res, err = pl.PlanContext(ctx, view)
-		}
+		res, err := s.searchFleet(ctx, name, j, led, prev, warm, obj, cons)
 		if err != nil {
 			return PlanResult{}, err
 		}
-		granted, err := led.Install(name, j.priority, res.Plan)
-		if err != nil {
-			if errors.Is(err, fleet.ErrConflict) {
-				lastErr = err
-				continue // the ledger moved under us; search a fresh view
-			}
+		switch err := s.commitFleet(name, j, led, res, obj, cons); {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, fleet.ErrConflict):
+			lastErr = err // the ledger moved under us; search a fresh view
+		default:
 			return PlanResult{}, err
 		}
-		// CloseJob may have raced the search: it releases the lease under
-		// s.mu, so re-check the job is still this open incarnation after
-		// the install and give the capacity back if it is not. The release
-		// is conditional on the grant version, so if the name was already
-		// reopened and re-leased, the new incarnation's lease survives.
-		s.mu.Lock()
-		open := s.jobs[name] == j
-		if open {
-			j.lastPlan, j.lastObj, j.lastCons = res.Plan, obj, cons
-		}
-		s.mu.Unlock()
-		if !open {
-			led.ReleaseIf(name, granted)
-			return PlanResult{}, fmt.Errorf("sailor: job %q closed while planning", name)
-		}
-		return res, nil
 	}
 	return PlanResult{}, fmt.Errorf("sailor: job %q lost the fleet admission race %d times: %w", name, attempts, lastErr)
+}
+
+// searchFleet runs the planner search of one fleet grant attempt: the view
+// is the ledger's free capacity (plus the job's own lease) restricted to
+// the job's declared GPU types, then capped. Filtering before capping means
+// the per-job cap is spent on cells the job can use, and makes the view a
+// pure function of the job's own-type cells — the independence property the
+// partitioned rebalance relies on.
+func (s *Service) searchFleet(ctx context.Context, name string, j *serviceJob, led *fleet.Ledger, prev Plan, warm bool, obj Objective, cons Constraints) (PlanResult, error) {
+	sys := j.sys
+	view := led.ViewForTypes(name, j.gpus)
+	if view.TotalGPUs() == 0 {
+		return PlanResult{}, fmt.Errorf("sailor: fleet has no free capacity for job %q", name)
+	}
+	opts := sys.plannerOpts(obj, cons, sys.workerCount())
+	opts.Guard = planner.NewCapacityGuard(view)
+	if warm {
+		opts.Warm = j.warm
+	}
+	pl := planner.New(sys.Model, sys.simulator, opts)
+	if warm && len(prev.Stages) > 0 {
+		return pl.ReplanContext(ctx, prev, view)
+	}
+	return pl.PlanContext(ctx, view)
+}
+
+// commitFleet installs a searched plan as job's lease and records it as the
+// job's last successful request. It returns fleet.ErrConflict when the
+// ledger moved between the search and the grant (callers retry or fall back
+// to a fresh search).
+func (s *Service) commitFleet(name string, j *serviceJob, led *fleet.Ledger, res PlanResult, obj Objective, cons Constraints) error {
+	granted, err := led.Install(name, j.priority, res.Plan)
+	if err != nil {
+		return err
+	}
+	// CloseJob may have raced the search: it releases the lease under
+	// s.mu, so re-check the job is still this open incarnation after
+	// the install and give the capacity back if it is not. The release
+	// is conditional on the grant version, so if the name was already
+	// reopened and re-leased, the new incarnation's lease survives.
+	s.mu.Lock()
+	open := s.jobs[name] == j
+	if open {
+		j.lastPlan, j.lastObj, j.lastCons = res.Plan, obj, cons
+	}
+	s.mu.Unlock()
+	if !open {
+		led.ReleaseIf(name, granted)
+		return fmt.Errorf("sailor: job %q closed while planning", name)
+	}
+	return nil
 }
 
 // SetFleet implements API: install (or replace) the fleet capacity ledger.
@@ -452,32 +482,47 @@ func (s *Service) FleetEvent(ev TraceEvent) ([]LeaseInfo, error) {
 	return out, nil
 }
 
+// rebalCand is one leaseless job queued for a Rebalance pass, snapshotted
+// under s.mu so the pass works off a consistent candidate set.
+type rebalCand struct {
+	name string
+	j    *serviceJob
+	prev Plan
+	obj  Objective
+	cons Constraints
+	pri  int
+}
+
 // Rebalance implements API: replan every open job that holds no lease, in
 // deterministic priority order (priority descending, then job name
 // ascending). A job that deployed before replans warm from its last plan;
 // a never-admitted job plans cold. Jobs that find no feasible plan — or no
 // free capacity at all — are reported with action "wait" and retried on
 // the next call. Cancellation returns the steps completed so far.
+//
+// Jobs whose reachable fleet cells are disjoint from every other
+// candidate's — no GPU type with fleet capacity is shared — cannot contend
+// for the same GPUs, so their planner searches run concurrently (still
+// bounded by MaxConcurrent); leases are then committed strictly in
+// admission order, with the no-free-capacity pre-check re-evaluated at each
+// job's commit turn, so the steps, plans, telemetry, and ledger version
+// trajectory are byte-identical to the sequential pass. Candidates that do
+// share reachable cells keep the sequential search-at-commit-time path.
+// ServiceConfig.SequentialRebalance forces the sequential pass for every
+// job.
 func (s *Service) Rebalance(ctx context.Context) ([]RebalanceStep, error) {
 	led := s.ledger()
 	if led == nil {
 		return nil, ErrNoFleet
 	}
-	type cand struct {
-		name string
-		j    *serviceJob
-		prev Plan
-		obj  Objective
-		cons Constraints
-		pri  int
-	}
 	s.mu.Lock()
-	cands := make([]cand, 0, len(s.jobs))
+	sequential := s.cfg.SequentialRebalance
+	cands := make([]rebalCand, 0, len(s.jobs))
 	for name, j := range s.jobs {
 		if led.Held(name) {
 			continue
 		}
-		cands = append(cands, cand{name, j, j.lastPlan, j.lastObj, j.lastCons, j.priority})
+		cands = append(cands, rebalCand{name, j, j.lastPlan, j.lastObj, j.lastCons, j.priority})
 	}
 	s.mu.Unlock()
 	sort.Slice(cands, func(i, k int) bool {
@@ -486,6 +531,17 @@ func (s *Service) Rebalance(ctx context.Context) ([]RebalanceStep, error) {
 		}
 		return cands[i].name < cands[k].name
 	})
+	if !sequential && len(cands) > 1 && led.FreeView().TotalGPUs() > 0 {
+		if solo := soloCandidates(led, cands); solo != nil {
+			return s.rebalancePartitioned(ctx, led, cands, solo)
+		}
+	}
+	return s.rebalanceSequential(ctx, led, cands)
+}
+
+// rebalanceSequential is the one-goroutine rebalance pass: each candidate
+// searches and commits at its own turn, in admission order.
+func (s *Service) rebalanceSequential(ctx context.Context, led *fleet.Ledger, cands []rebalCand) ([]RebalanceStep, error) {
 	var steps []RebalanceStep
 	for _, c := range cands {
 		if err := ctx.Err(); err != nil {
@@ -508,6 +564,138 @@ func (s *Service) Rebalance(ctx context.Context) ([]RebalanceStep, error) {
 		// follows a capacity loss reuses the DP regions already solved.
 		res, err := s.planFleet(ctx, c.name, c.j, led, c.prev, true, c.obj, c.cons)
 		<-s.sem
+		if err != nil {
+			step.Action, step.Error = "wait", err.Error()
+		} else {
+			r := wire.FromResult(res)
+			step.Result = &r
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// soloCandidates partitions the rebalance candidates by the fleet cells
+// their views can touch. A job's reachable cells are the fleet-capacity
+// cells of its declared GPU types, so two candidates conflict exactly when
+// they share a GPU type the fleet has capacity for. The returned mask marks
+// the singleton partitions — candidates conflicting with no other — whose
+// searches may run concurrently; nil when no candidate is solo (everything
+// falls back to the sequential pass).
+func soloCandidates(led *fleet.Ledger, cands []rebalCand) []bool {
+	capacity := led.Capacity()
+	users := map[GPUType]int{}
+	reach := make([][]GPUType, len(cands))
+	for i, c := range cands {
+		seen := map[GPUType]bool{}
+		for _, g := range c.j.gpus {
+			if !seen[g] && capacity.TotalOf(g) > 0 {
+				seen[g] = true
+				reach[i] = append(reach[i], g)
+				users[g]++
+			}
+		}
+	}
+	solo := make([]bool, len(cands))
+	any := false
+	for i := range cands {
+		solo[i] = true
+		for _, g := range reach[i] {
+			if users[g] > 1 {
+				solo[i] = false
+				break
+			}
+		}
+		if solo[i] {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return solo
+}
+
+// rebalancePartitioned is the two-phase rebalance pass. Phase one searches
+// every solo candidate concurrently under the planner semaphore: a solo
+// job's view is a pure function of its own-type cells, which no other
+// candidate's commit can touch, so the search result is identical to the
+// one the sequential pass would compute at the job's turn. Phase two walks
+// all candidates in admission order and commits — precomputed plans install
+// directly, conflicting candidates search inline exactly as the sequential
+// pass does — so the ledger version trajectory and every step are
+// byte-identical to rebalanceSequential (asserted by
+// TestRebalancePartitionedDeterminism).
+func (s *Service) rebalancePartitioned(ctx context.Context, led *fleet.Ledger, cands []rebalCand, solo []bool) ([]RebalanceStep, error) {
+	type searched struct {
+		res PlanResult
+		err error
+	}
+	pre := make([]*searched, len(cands))
+	var wg sync.WaitGroup
+	for i := range cands {
+		if !solo[i] {
+			continue
+		}
+		pre[i] = &searched{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cands[i]
+			if err := s.acquire(ctx); err != nil {
+				pre[i].err = err
+				return
+			}
+			defer func() { <-s.sem }()
+			pre[i].res, pre[i].err = s.searchFleet(ctx, c.name, c.j, led, c.prev, true, c.obj, c.cons)
+		}(i)
+	}
+	wg.Wait()
+	var steps []RebalanceStep
+	for i, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return steps, err
+		}
+		step := RebalanceStep{Job: c.name, Priority: c.pri, Action: "admit"}
+		if len(c.prev.Stages) > 0 {
+			step.Action = "replan"
+		}
+		// The no-free-capacity pre-check is re-evaluated at each commit
+		// turn: it reads global free capacity, which earlier commits of
+		// this very pass may have consumed.
+		if led.FreeView().TotalGPUs() == 0 {
+			step.Action, step.Error = "wait", "no free fleet capacity"
+			steps = append(steps, step)
+			continue
+		}
+		var res PlanResult
+		var err error
+		inline := func() {
+			if err = s.acquire(ctx); err != nil {
+				return
+			}
+			res, err = s.planFleet(ctx, c.name, c.j, led, c.prev, true, c.obj, c.cons)
+			<-s.sem
+		}
+		switch {
+		case pre[i] == nil:
+			// A conflicting candidate: its view depends on this pass's
+			// earlier commits, so search at its turn, like the sequential
+			// pass.
+			inline()
+		case pre[i].err != nil:
+			err = pre[i].err
+		default:
+			res = pre[i].res
+			if err = s.commitFleet(c.name, c.j, led, res, c.obj, c.cons); errors.Is(err, fleet.ErrConflict) {
+				// An external tenant moved the ledger under the
+				// precomputed grant; fall back to a fresh inline search.
+				inline()
+			}
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil && err != nil {
+			return steps, ctxErr
+		}
 		if err != nil {
 			step.Action, step.Error = "wait", err.Error()
 		} else {
