@@ -1,0 +1,138 @@
+// Command sailor-advgen is the adversarial trace generator: a seeded
+// random search over availability traces that maximizes a replay-badness
+// objective (downtime, lease churn, forced replans, or warm-cache miss
+// rate) against a real in-process fleet. The worst traces it finds are
+// written as canonical trace files — ready to commit as golden regression
+// scenarios and replay through `sailor-replay -trace <file> -fleet`.
+//
+// The search is deterministic: the same (flags, seed, budget) always
+// prints the same scoreboard and writes byte-identical trace files, at any
+// -workers setting. That is what lets CI smoke-run the generator and
+// compare the top-1 byte-for-byte.
+//
+// Usage:
+//
+//	sailor-advgen -objective downtime -budget 64 -seed 7
+//	sailor-advgen -objective churn -budget 128 -top 3 -out testdata/
+//	sailor-advgen -objectives
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/advgen"
+	"repro/internal/trace"
+	"repro/sailor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sailor-advgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sailor-advgen", flag.ContinueOnError)
+	listObjectives := fs.Bool("objectives", false, "list search objectives and exit")
+	objective := fs.String("objective", string(advgen.Downtime), "replay-badness objective to maximize (see -objectives)")
+	modelName := fs.String("model", "OPT-350M", "model every fleet job trains (see internal/model)")
+	jobs := fs.Int("jobs", 3, "number of contending fleet jobs")
+	horizon := fs.Duration("horizon", 2*time.Hour, "candidate trace horizon")
+	maxGPUs := fs.Int("max-gpus", 8, "bound on any event delta and initial per-cell grant")
+	maxEvents := fs.Int("max-events", 24, "bound on a candidate's availability-event count")
+	budget := fs.Int("budget", 32, "candidate evaluations (fleet replays)")
+	topK := fs.Int("top", 2, "worst cases to keep and write")
+	seed := fs.Int64("seed", 42, "search seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "planner search parallelism (results identical at any setting)")
+	caps := fs.Bool("caps", true, "allow demand-autoscaling (cap event) mutations")
+	outDir := fs.String("out", "", "directory to write the top-K trace files into (empty = scoreboard only)")
+	verbose := fs.Bool("v", false, "log every elite-pool improvement")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listObjectives {
+		for _, o := range advgen.Objectives() {
+			fmt.Fprintln(out, o)
+		}
+		return nil
+	}
+	obj, err := advgen.ParseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	model, err := sailor.ModelByName(*modelName)
+	if err != nil {
+		return err
+	}
+
+	cfg := advgen.Config{
+		Model:        model,
+		Jobs:         *jobs,
+		Horizon:      *horizon,
+		MaxGPUs:      *maxGPUs,
+		MaxEvents:    *maxEvents,
+		Objective:    obj,
+		Budget:       *budget,
+		TopK:         *topK,
+		Seed:         *seed,
+		Workers:      *workers,
+		CapMutations: *caps,
+	}
+	if *verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		}
+	}
+
+	elites, err := advgen.Search(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "objective=%s budget=%d seed=%d jobs=%d horizon=%s\n",
+		obj, cfg.Budget, cfg.Seed, cfg.Jobs, cfg.Horizon)
+	for rank, e := range elites {
+		fmt.Fprintf(out, "#%d %s=%.3f  downtime=%d churn=%d replans=%d warm-miss=%d/%d  events=%d caps=%d\n",
+			rank+1, obj, e.Score.Value(obj),
+			e.Score.Downtime, e.Score.Churn, e.Score.Replans,
+			e.Score.WarmMisses, e.Score.Searches,
+			len(e.Trace.Events), len(e.Trace.CapEvents))
+	}
+
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for rank, e := range elites {
+		name := fmt.Sprintf("adv-%s-%d", obj, rank+1)
+		doc, err := trace.Save(&trace.File{
+			Name: name,
+			Description: fmt.Sprintf(
+				"adversarial worst case #%d for objective %q (advgen seed %d, budget %d)",
+				rank+1, obj, cfg.Seed, cfg.Budget),
+			Trace: e.Trace,
+		})
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, name+".trace.json")
+		if err := os.WriteFile(path, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRunDeterministicScoreboard: same flags, same seed → identical output,
+// at any worker count. This is the CI smoke contract.
+func TestRunDeterministicScoreboard(t *testing.T) {
+	args := []string{"-budget", "6", "-seed", "7", "-jobs", "2",
+		"-horizon", "1h", "-max-gpus", "6", "-max-events", "10",
+		"-objective", "churn"}
+	var a, b, w8 bytes.Buffer
+	if err := run(append(args, "-workers", "1"), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "1"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "8"), &w8); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("identical runs diverge:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if a.String() != w8.String() {
+		t.Errorf("workers=1 and workers=8 diverge:\n%s\nvs\n%s", a.String(), w8.String())
+	}
+	if !strings.Contains(a.String(), "#1 churn=") {
+		t.Errorf("scoreboard missing top-1 line:\n%s", a.String())
+	}
+}
+
+// TestRunWritesTraceFiles: -out writes top-K canonical trace files that
+// load back through the versioned codec.
+func TestRunWritesTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-budget", "6", "-seed", "7", "-jobs", "2",
+		"-horizon", "1h", "-max-gpus", "6", "-max-events", "10",
+		"-objective", "downtime", "-top", "2", "-workers", "1",
+		"-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"adv-downtime-1", "adv-downtime-2"} {
+		path := filepath.Join(dir, name+".trace.json")
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing written trace: %v", err)
+		}
+		f, err := trace.Load(doc)
+		if err != nil {
+			t.Fatalf("%s does not load: %v", path, err)
+		}
+		if f.Name != name {
+			t.Errorf("%s: name = %q, want %q", path, f.Name, name)
+		}
+		if !strings.Contains(buf.String(), path) {
+			t.Errorf("scoreboard does not mention %s:\n%s", path, buf.String())
+		}
+	}
+}
+
+// TestRunObjectivesAndValidation covers -objectives and flag rejection.
+func TestRunObjectivesAndValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-objectives"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"downtime", "churn", "replans", "warm-miss"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-objectives missing %q:\n%s", want, buf.String())
+		}
+	}
+	if err := run([]string{"-objective", "chaos"}, &buf); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if err := run([]string{"-model", "no-such-model"}, &buf); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -18,6 +18,9 @@ var fleetCases = []struct {
 }{
 	{"preemption-storm", 3},
 	{"zone-outage", 2},
+	// Composed scenario: demand autoscaling moves the per-job cap with the
+	// trace, threading SetJobCap through the fleet replay loop.
+	{"preemption-storm+autoscale", 3},
 }
 
 // zeroFleetClocks drops the one wall-clock field of a -fleet -json ledger:

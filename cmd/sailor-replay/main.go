@@ -12,6 +12,13 @@
 // reconfiguration ledger. -json emits the versioned wire-schema ledger in
 // every mode.
 //
+// With -trace it replays an external availability trace instead of a named
+// scenario: a versioned JSON trace document (or a .csv log, imported and
+// canonicalized), validated at the boundary, driving the same in-process
+// controller or fleet paths. Trace cap events (demand autoscaling) are
+// applied to the fleet ledger before the availability events of the same
+// instant, evicting oversized leases in deterministic admission order.
+//
 // Usage:
 //
 //	sailor-replay -list
@@ -19,6 +26,7 @@
 //	sailor-replay -scenario zone-outage -seed 7 -model gptneo27b -base 16
 //	sailor-replay -scenario preemption-storm -server 127.0.0.1:7477 -json
 //	sailor-replay -scenario preemption-storm -fleet -jobs 3
+//	sailor-replay -trace spot-log.trace.json -fleet -jobs 3
 package main
 
 import (
@@ -52,6 +60,7 @@ func main() {
 type replayOutput struct {
 	V              int               `json:"v"`
 	Scenario       string            `json:"scenario"`
+	TraceFile      string            `json:"trace_file,omitempty"`
 	Description    string            `json:"description"`
 	Model          string            `json:"model"`
 	Seed           int64             `json:"seed"`
@@ -77,6 +86,7 @@ type fleetDoc struct {
 type fleetStep struct {
 	AtSeconds    float64              `json:"at_seconds"`
 	Events       int                  `json:"events"`
+	CapGPUs      *int                 `json:"cap_gpus,omitempty"`
 	CapacityGPUs int                  `json:"capacity_gpus"`
 	FreeGPUs     int                  `json:"free_gpus"`
 	Broken       []string             `json:"broken,omitempty"`
@@ -96,6 +106,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sailor-replay", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list registered scenarios and exit")
 	name := fs.String("scenario", "", "scenario to replay (see -list)")
+	traceFile := fs.String("trace", "", "replay an external trace file (versioned JSON document, or .csv import) instead of a -scenario")
 	seed := fs.Int64("seed", 42, "scenario seed")
 	modelName := fs.String("model", "OPT-350M", "model from the zoo (see internal/model)")
 	workers := fs.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines; in-process mode)")
@@ -115,14 +126,47 @@ func run(args []string, out io.Writer) error {
 		printScenarios(out)
 		return nil
 	}
-	sc, ok := sailor.ScenarioByName(*name)
-	if !ok {
-		var b strings.Builder
-		printScenarios(&b)
-		if *name == "" {
-			return fmt.Errorf("missing -scenario; registered scenarios:\n%s", b.String())
+	// The replay source: a registered scenario, or an external trace file.
+	var (
+		tr      *sailor.Trace
+		srcName string
+		srcDesc string
+		gpus    []sailor.GPUType
+		defBase int
+	)
+	if *traceFile != "" {
+		if *name != "" {
+			return fmt.Errorf("-trace and -scenario are mutually exclusive")
 		}
-		return fmt.Errorf("unknown scenario %q; registered scenarios:\n%s", *name, b.String())
+		if *server != "" {
+			return fmt.Errorf("-trace replays in-process; drop -server")
+		}
+		if *horizon != 0 || *base != 0 {
+			return fmt.Errorf("-horizon and -base scale scenario families; an external trace fixes both")
+		}
+		tf, err := loadTraceFile(*traceFile)
+		if err != nil {
+			return err
+		}
+		tr, srcName, srcDesc = tf.Trace, tf.Name, tf.Description
+		gpus = tr.GPUTypes()
+		defBase = tr.PeakGPUs()
+	} else {
+		sc, ok := sailor.ScenarioByName(*name)
+		if !ok {
+			var b strings.Builder
+			printScenarios(&b)
+			if *name == "" {
+				return fmt.Errorf("missing -scenario or -trace; registered scenarios:\n%s", b.String())
+			}
+			return fmt.Errorf("unknown scenario %q; registered scenarios:\n%s", *name, b.String())
+		}
+		tr = sc.TraceWith(*seed, sailor.ScenarioOpts{Horizon: *horizon, Base: *base})
+		srcName, srcDesc, gpus = sc.Name, sc.Description, sc.GPUs
+		defBase = *base
+		if defBase <= 0 {
+			defBase = sc.Defaults.Base
+		}
 	}
 	m, err := sailor.ModelByName(*modelName)
 	if err != nil {
@@ -131,11 +175,11 @@ func run(args []string, out io.Writer) error {
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
 	}
-	tr := sc.TraceWith(*seed, sailor.ScenarioOpts{Horizon: *horizon, Base: *base})
 	doc := replayOutput{
 		V:              sailor.WireVersion,
-		Scenario:       sc.Name,
-		Description:    sc.Description,
+		Scenario:       srcName,
+		TraceFile:      *traceFile,
+		Description:    srcDesc,
 		Model:          m.Name,
 		Seed:           *seed,
 		HorizonSeconds: tr.Horizon.Seconds(),
@@ -153,18 +197,16 @@ func run(args []string, out io.Writer) error {
 		}
 		cap := *fleetCap
 		if cap == 0 {
-			effBase := *base
-			if effBase <= 0 {
-				effBase = sc.Defaults.Base
-			}
-			cap = effBase / 2
+			// Auto cap: half the scenario base, or half the trace's peak
+			// availability for an external trace.
+			cap = defBase / 2
 			if cap < 1 {
 				cap = 1
 			}
 		} else if cap < 0 {
 			cap = 0
 		}
-		fd, err := replayFleet(m, sc, tr, *jobs, cap, *workers)
+		fd, err := replayFleet(m, gpus, tr, *jobs, cap, *workers)
 		if err != nil {
 			return err
 		}
@@ -172,7 +214,7 @@ func run(args []string, out io.Writer) error {
 			doc.Fleet = fd
 			return writeJSON(out, doc)
 		}
-		fmt.Fprintf(out, "scenario:  %s — %s\n", sc.Name, sc.Description)
+		fmt.Fprintf(out, "scenario:  %s — %s\n", srcName, srcDesc)
 		fmt.Fprintf(out, "model:     %s   seed: %d   horizon: %s   events: %d   workers: %d\n",
 			m.Name, *seed, tr.Horizon, len(tr.Events), *workers)
 		fmt.Fprintf(out, "fleet:     %d jobs, per-job cap %d GPUs\n", fd.Jobs, fd.JobCapGPUs)
@@ -182,14 +224,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *server != "" {
-		steps, err := replayViaServer(*server, *job, m, sc, tr)
+		steps, err := replayViaServer(*server, *job, m, gpus, tr)
 		if err != nil {
 			return err
 		}
 		if *jsonOut {
 			return writeJSON(out, docWithSteps(doc, steps))
 		}
-		fmt.Fprintf(out, "scenario:  %s — %s\n", sc.Name, sc.Description)
+		fmt.Fprintf(out, "scenario:  %s — %s\n", srcName, srcDesc)
 		fmt.Fprintf(out, "model:     %s   seed: %d   horizon: %s   events: %d   server: %s\n",
 			m.Name, *seed, tr.Horizon, len(tr.Events), *server)
 		fmt.Fprintln(out)
@@ -197,7 +239,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	sys, err := sailor.New(m, sc.GPUs, sailor.WithWorkers(*workers))
+	sys, err := sailor.New(m, gpus, sailor.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -211,7 +253,7 @@ func run(args []string, out io.Writer) error {
 		doc.Report = &r
 		return writeJSON(out, doc)
 	}
-	fmt.Fprintf(out, "scenario:  %s — %s\n", sc.Name, sc.Description)
+	fmt.Fprintf(out, "scenario:  %s — %s\n", srcName, srcDesc)
 	fmt.Fprintf(out, "model:     %s   seed: %d   horizon: %s   events: %d   workers: %d\n",
 		m.Name, *seed, tr.Horizon, len(tr.Events), *workers)
 	fmt.Fprintln(out)
@@ -233,10 +275,24 @@ func writeJSON(out io.Writer, doc replayOutput) error {
 	return enc.Encode(doc)
 }
 
+// loadTraceFile reads an external trace from disk: a versioned JSON trace
+// document, or a CSV availability log (by .csv extension) imported and
+// canonicalized to the same shape.
+func loadTraceFile(path string) (*sailor.TraceFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		return sailor.LoadTraceCSV(data)
+	}
+	return sailor.LoadTrace(data)
+}
+
 // replayViaServer turns the trace's distinct availability snapshots into
 // the §5.5 control-plane request sequence: plan the first, then replan
 // each successive snapshot from the previous response's plan.
-func replayViaServer(addr, job string, m sailor.Model, sc sailor.Scenario, tr *sailor.Trace) ([]sailor.PlanResult, error) {
+func replayViaServer(addr, job string, m sailor.Model, gpus []sailor.GPUType, tr *sailor.Trace) ([]sailor.PlanResult, error) {
 	pools := tr.DistinctPools()
 	if len(pools) == 0 {
 		return nil, fmt.Errorf("scenario produces no non-empty pools")
@@ -246,7 +302,7 @@ func replayViaServer(addr, job string, m sailor.Model, sc sailor.Scenario, tr *s
 		return nil, err
 	}
 	defer c.Close()
-	if err := c.OpenJob(job, m, sc.GPUs, 0); err != nil {
+	if err := c.OpenJob(job, m, gpus, 0); err != nil {
 		return nil, err
 	}
 	defer c.CloseJob(job)
@@ -268,28 +324,47 @@ func replayViaServer(addr, job string, m sailor.Model, sc sailor.Scenario, tr *s
 	return steps, nil
 }
 
-// replayFleet drives a scenario trace through one shared cluster-state
-// ledger contended by `jobs` jobs (job-0 has the highest priority). Every
-// event timestamp becomes one step: the events mutate the fleet, the
-// ledger evicts the leases they broke in deterministic admission order,
-// and Rebalance replans every leaseless job — warm where it deployed
-// before — in priority order. The safety invariant (leased capacity never
-// exceeds fleet capacity) is asserted after every step.
-func replayFleet(m sailor.Model, sc sailor.Scenario, tr *sailor.Trace, jobs, cap, workers int) (*fleetDoc, error) {
+// replayFleet drives a trace through one shared cluster-state ledger
+// contended by `jobs` jobs (job-0 has the highest priority). Every
+// event timestamp becomes one step: cap events move the per-job GPU cap
+// first (a quota change takes effect before the availability events of the
+// same instant, evicting oversized leases in admission order), then the
+// availability events mutate the fleet, the ledger evicts the leases they
+// broke in deterministic admission order, and Rebalance replans every
+// leaseless job — warm where it deployed before — in priority order. The
+// safety invariant (leased capacity never exceeds fleet capacity) is
+// asserted after every step.
+func replayFleet(m sailor.Model, gpus []sailor.GPUType, tr *sailor.Trace, jobs, cap, workers int) (*fleetDoc, error) {
 	ledger := sailor.NewLedger(sailor.NewPool())
 	ledger.SetJobCap(cap)
 	svc := sailor.NewService(sailor.ServiceConfig{Workers: workers, Fleet: ledger})
 	for i := 0; i < jobs; i++ {
-		if err := svc.OpenJob(fmt.Sprintf("job-%d", i), m, sc.GPUs, jobs-i); err != nil {
+		if err := svc.OpenJob(fmt.Sprintf("job-%d", i), m, gpus, jobs-i); err != nil {
 			return nil, err
 		}
 	}
 	ctx := context.Background()
 	fd := &fleetDoc{Jobs: jobs, JobCapGPUs: cap}
-	events := tr.Events
-	for i := 0; i < len(events); {
-		at := events[i].At
+	events, caps := tr.Events, tr.CapEvents
+	ci := 0
+	for i := 0; i < len(events) || ci < len(caps); {
+		var at time.Duration
+		switch {
+		case i < len(events) && ci < len(caps) && caps[ci].At <= events[i].At:
+			at = caps[ci].At
+		case i < len(events):
+			at = events[i].At
+		default:
+			at = caps[ci].At
+		}
 		step := fleetStep{AtSeconds: at.Seconds()}
+		for ; ci < len(caps) && caps[ci].At == at; ci++ {
+			newCap := caps[ci].GPUs
+			for _, b := range ledger.SetJobCap(newCap) {
+				step.Broken = append(step.Broken, b.Job)
+			}
+			step.CapGPUs = &newCap
+		}
 		for ; i < len(events) && events[i].At == at; i++ {
 			broken, err := svc.FleetEvent(events[i])
 			if err != nil {
@@ -334,6 +409,9 @@ func writeFleetLedger(w io.Writer, fd *fleetDoc) {
 		fmt.Fprintf(w, "step %3d  t+%-9s events=%d  capacity=%d free=%d",
 			i, time.Duration(s.AtSeconds*float64(time.Second)).Round(time.Second), s.Events,
 			s.CapacityGPUs, s.FreeGPUs)
+		if s.CapGPUs != nil {
+			fmt.Fprintf(w, "  cap=%d", *s.CapGPUs)
+		}
 		if len(s.Broken) > 0 {
 			fmt.Fprintf(w, "  preempted=%s", strings.Join(s.Broken, ","))
 		}

@@ -1,0 +1,175 @@
+package main
+
+// End-to-end coverage of -trace: an external trace file (the committed
+// testdata/external-spot.trace.json, with its CSV twin) drives a 3-job
+// fleet replay through the shared ledger — ROADMAP item 4's acceptance —
+// golden-pinned and byte-identical at workers=1 vs 8. The trace carries cap
+// events, so the quota-squeeze path (SetJobCap mid-replay) is exercised on
+// a real document, not just a composed scenario.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+const externalTrace = "testdata/external-spot.trace.json"
+
+func runTraceReplay(t *testing.T, path string, jobs, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	args := []string{"-trace", path, "-fleet", "-jobs", fmt.Sprint(jobs),
+		"-workers", fmt.Sprint(workers), "-json"}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("-trace %s jobs=%d workers=%d: %v", path, jobs, workers, err)
+	}
+	return buf.Bytes()
+}
+
+// zeroTraceClocks is zeroFleetClocks plus the trace_file path, so replays
+// of the JSON document and its CSV twin normalize to identical ledgers.
+func zeroTraceClocks(m map[string]any) {
+	zeroFleetClocks(m)
+	delete(m, "trace_file")
+}
+
+// TestTraceFleetGolden pins the external-trace 3-job fleet ledger
+// (regenerate with -update).
+func TestTraceFleetGolden(t *testing.T) {
+	out := runTraceReplay(t, externalTrace, 3, 1)
+	testutil.CheckGolden(t, "trace-external-spot.golden.json",
+		testutil.NormalizeJSON(t, out, zeroFleetClocks))
+}
+
+// TestTraceFleetWorkerDeterminism: the external-trace fleet ledger is
+// byte-identical at workers=1 and workers=8.
+func TestTraceFleetWorkerDeterminism(t *testing.T) {
+	j1 := testutil.NormalizeJSON(t, runTraceReplay(t, externalTrace, 3, 1), zeroFleetClocks)
+	j8 := testutil.NormalizeJSON(t, runTraceReplay(t, externalTrace, 3, 8), zeroFleetClocks)
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("external-trace ledger differs between workers=1 and workers=8:\n%s\nvs\n%s", j1, j8)
+	}
+}
+
+// TestTraceCSVEquivalence: replaying the CSV twin produces the identical
+// fleet ledger — the import canonicalizes to the same trace.
+func TestTraceCSVEquivalence(t *testing.T) {
+	jsonOut := testutil.NormalizeJSON(t, runTraceReplay(t, externalTrace, 3, 1), zeroTraceClocks)
+	csvOut := testutil.NormalizeJSON(t, runTraceReplay(t, "testdata/external-spot.trace.csv", 3, 1), zeroTraceClocks)
+	if !bytes.Equal(jsonOut, csvOut) {
+		t.Errorf("CSV twin replays differently:\n%s\nvs\n%s", jsonOut, csvOut)
+	}
+}
+
+// TestTraceCapEvents: the trace's cap events reach the ledger — the
+// squeeze step reports the new cap and no lease ever exceeds the cap in
+// force.
+func TestTraceCapEvents(t *testing.T) {
+	out := runTraceReplay(t, externalTrace, 3, 1)
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	fl := doc["fleet"].(map[string]any)
+	steps := fl["steps"].([]any)
+	capInForce := int(fl["job_cap_gpus"].(float64))
+	sawSqueeze := false
+	for _, s := range steps {
+		st := s.(map[string]any)
+		if c, ok := st["cap_gpus"].(float64); ok {
+			capInForce = int(c)
+			if capInForce == 4 {
+				sawSqueeze = true
+			}
+		}
+		if capInForce <= 0 {
+			continue
+		}
+		if ls, ok := st["leases"].([]any); ok {
+			for _, l := range ls {
+				le := l.(map[string]any)
+				if g := int(le["gpus"].(float64)); g > capInForce {
+					t.Errorf("step t+%vs: lease %v holds %d GPUs over cap %d",
+						st["at_seconds"], le["job"], g, capInForce)
+				}
+			}
+		}
+	}
+	if !sawSqueeze {
+		t.Error("the 4-GPU quota squeeze never surfaced in the ledger")
+	}
+}
+
+// advCases are the committed adversarial worst cases: traces sailor-advgen
+// found to maximize a replay-badness objective against the fleet
+// (regenerate candidates with `go run ./cmd/sailor-advgen`). Once
+// committed they are ordinary golden regression scenarios — pinned
+// ledgers, byte-identical at any worker count — so the planner's behaviour
+// on its own worst inputs can never drift silently.
+var advCases = []string{
+	"testdata/adv-downtime-1.trace.json",
+	"testdata/adv-churn-1.trace.json",
+}
+
+// TestAdversarialTraceGolden pins the fleet ledger of every committed
+// adversarial worst case (regenerate with -update).
+func TestAdversarialTraceGolden(t *testing.T) {
+	for _, path := range advCases {
+		out := runTraceReplay(t, path, 3, 1)
+		name := strings.TrimSuffix(filepath.Base(path), ".trace.json")
+		testutil.CheckGolden(t, "trace-"+name+".golden.json",
+			testutil.NormalizeJSON(t, out, zeroFleetClocks))
+	}
+}
+
+// TestAdversarialTraceWorkerDeterminism: adversarial worst cases obey the
+// same determinism contract as the scenario families — byte-identical
+// ledgers at workers=1 and workers=8.
+func TestAdversarialTraceWorkerDeterminism(t *testing.T) {
+	for _, path := range advCases {
+		j1 := testutil.NormalizeJSON(t, runTraceReplay(t, path, 3, 1), zeroFleetClocks)
+		j8 := testutil.NormalizeJSON(t, runTraceReplay(t, path, 3, 8), zeroFleetClocks)
+		if !bytes.Equal(j1, j8) {
+			t.Errorf("%s: ledger differs between workers=1 and workers=8", path)
+		}
+	}
+}
+
+// TestTraceControllerPath: without -fleet, an external trace drives the
+// single-job elastic controller.
+func TestTraceControllerPath(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", externalTrace, "-workers", "1"}, &buf); err != nil {
+		t.Fatalf("controller replay: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "external-spot") || !strings.Contains(out, "reconfiguration ledger") {
+		t.Errorf("controller output missing trace name or ledger:\n%s", out)
+	}
+}
+
+// TestTraceFlagValidation: -trace rejects nonsense combinations and bad
+// documents with clear errors.
+func TestTraceFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-trace", externalTrace, "-scenario", "zone-outage"}, "mutually exclusive"},
+		{[]string{"-trace", externalTrace, "-server", "x:1"}, "in-process"},
+		{[]string{"-trace", externalTrace, "-base", "8"}, "external trace fixes both"},
+		{[]string{"-trace", externalTrace, "-horizon", "1h"}, "external trace fixes both"},
+		{[]string{"-trace", "testdata/no-such-file.json"}, "no such file"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := run(tc.args, &buf); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v = %v, want error mentioning %q", tc.args, err, tc.want)
+		}
+	}
+}

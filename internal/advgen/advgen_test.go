@@ -1,0 +1,125 @@
+package advgen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/sailor"
+)
+
+func tinyConfig(workers int) Config {
+	return Config{
+		Model:        sailor.OPT350M(),
+		Jobs:         2,
+		Horizon:      time.Hour,
+		MaxGPUs:      6,
+		MaxEvents:    10,
+		Objective:    Churn,
+		Budget:       6,
+		TopK:         2,
+		Seed:         7,
+		Workers:      workers,
+		CapMutations: true,
+	}
+}
+
+// TestSearchDeterminism is the generator's core contract: the same
+// (config, seed, budget) returns byte-identical top-K trace files, at any
+// planner worker count.
+func TestSearchDeterminism(t *testing.T) {
+	a, err := Search(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := Search(tinyConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != len(w8) {
+		t.Fatalf("elite counts differ: %d / %d / %d", len(a), len(b), len(w8))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Doc, b[i].Doc) {
+			t.Errorf("rank %d differs between identical runs", i)
+		}
+		if !bytes.Equal(a[i].Doc, w8[i].Doc) {
+			t.Errorf("rank %d differs between workers=1 and workers=8", i)
+		}
+		if a[i].Score != w8[i].Score {
+			t.Errorf("rank %d score differs across worker counts: %+v vs %+v", i, a[i].Score, w8[i].Score)
+		}
+	}
+}
+
+// TestSearchCandidatesAreValidTraceFiles: every elite's Doc loads back as
+// a valid trace file whose trace equals the candidate's.
+func TestSearchCandidatesAreValidTraceFiles(t *testing.T) {
+	elites, err := Search(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elites) == 0 {
+		t.Fatal("no elites")
+	}
+	for i, e := range elites {
+		f, err := trace.Load(e.Doc)
+		if err != nil {
+			t.Fatalf("rank %d: Doc does not load: %v", i, err)
+		}
+		if len(f.Trace.Events) != len(e.Trace.Events) {
+			t.Fatalf("rank %d: Doc has %d events, candidate %d", i, len(f.Trace.Events), len(e.Trace.Events))
+		}
+	}
+}
+
+// TestSearchRanking: elites come back worst-first under the objective.
+func TestSearchRanking(t *testing.T) {
+	elites, err := Search(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(elites); i++ {
+		if elites[i].Score.Value(Churn) > elites[i-1].Score.Value(Churn) {
+			t.Errorf("rank %d (%.3f) worse than rank %d (%.3f)", i,
+				elites[i].Score.Value(Churn), i-1, elites[i-1].Score.Value(Churn))
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, o := range Objectives() {
+		got, err := ParseObjective(string(o))
+		if err != nil || got != o {
+			t.Errorf("ParseObjective(%q) = %v, %v", o, got, err)
+		}
+	}
+	if _, err := ParseObjective("chaos"); err == nil {
+		t.Error("ParseObjective accepted an unknown objective")
+	}
+}
+
+// TestScoreValue pins the objective projections.
+func TestScoreValue(t *testing.T) {
+	s := Score{Downtime: 3, Churn: 5, Replans: 7, WarmMisses: 2, Searches: 8}
+	if v := s.Value(Downtime); v != 3 {
+		t.Errorf("downtime = %v", v)
+	}
+	if v := s.Value(Churn); v != 5 {
+		t.Errorf("churn = %v", v)
+	}
+	if v := s.Value(Replans); v != 7 {
+		t.Errorf("replans = %v", v)
+	}
+	if v := s.Value(WarmMiss); v != 0.25 {
+		t.Errorf("warm-miss = %v", v)
+	}
+	if v := (Score{}).Value(WarmMiss); v != 0 {
+		t.Errorf("warm-miss with no searches = %v", v)
+	}
+}

@@ -203,3 +203,66 @@ func TestEntriesDeterministicOrder(t *testing.T) {
 		t.Errorf("entry round trip changed the pool:\n%s\nvs\n%s", q, p)
 	}
 }
+
+// TestCapTotal pins the canonical truncation the fleet's per-job cap uses:
+// cells fill in Entries order (zone name, then GPU type), so equal pools
+// always truncate identically.
+func TestCapTotal(t *testing.T) {
+	za, zb := GCPZone("us-central1", 'a'), GCPZone("us-central1", 'b')
+	p := NewPool().Set(za, core.A100, 3).Set(za, core.V100, 2).Set(zb, core.A100, 4)
+
+	capped := p.CapTotal(5)
+	if got := capped.TotalGPUs(); got != 5 {
+		t.Fatalf("CapTotal(5) kept %d GPUs", got)
+	}
+	// Entries order: (za,A100)=3 first, then (za,V100)=2; (zb,A100) misses out.
+	if got := capped.Available(za, core.A100); got != 3 {
+		t.Errorf("first cell = %d, want 3", got)
+	}
+	if got := capped.Available(za, core.V100); got != 2 {
+		t.Errorf("second cell = %d, want 2", got)
+	}
+	if got := capped.Available(zb, core.A100); got != 0 {
+		t.Errorf("overflow cell = %d, want 0", got)
+	}
+
+	// A cap above the total is a no-op copy; n <= 0 empties the pool.
+	if got := p.CapTotal(100).TotalGPUs(); got != p.TotalGPUs() {
+		t.Errorf("CapTotal(100) = %d GPUs, want %d", got, p.TotalGPUs())
+	}
+	if got := p.CapTotal(0).TotalGPUs(); got != 0 {
+		t.Errorf("CapTotal(0) = %d GPUs, want 0", got)
+	}
+}
+
+// TestFilterTypes: restriction to a type set, with the empty filter as a
+// full copy.
+func TestFilterTypes(t *testing.T) {
+	za, zb := GCPZone("us-central1", 'a'), GCPZone("us-central1", 'b')
+	p := NewPool().Set(za, core.A100, 3).Set(za, core.V100, 2).Set(zb, core.A100, 4)
+
+	v := p.FilterTypes([]core.GPUType{core.V100})
+	if got := v.TotalGPUs(); got != 2 {
+		t.Fatalf("V100 filter kept %d GPUs, want 2", got)
+	}
+	if got := v.Available(za, core.A100) + v.Available(zb, core.A100); got != 0 {
+		t.Errorf("filter leaked %d A100s", got)
+	}
+
+	all := p.FilterTypes(nil)
+	if got := all.TotalGPUs(); got != p.TotalGPUs() {
+		t.Errorf("empty filter = %d GPUs, want full copy %d", got, p.TotalGPUs())
+	}
+	all.Set(za, core.A100, 0)
+	if p.Available(za, core.A100) != 3 {
+		t.Error("empty-filter copy aliases the source pool")
+	}
+}
+
+// TestOnPrem covers the synthetic on-premise zone constructor.
+func TestOnPrem(t *testing.T) {
+	z := OnPrem()
+	if z.Region != "onprem" || z.Name != "onprem-dc1" {
+		t.Fatalf("OnPrem() = %+v", z)
+	}
+}

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+var (
+	fileZoneA = core.Zone{Region: "us-central1", Name: "us-central1-a"}
+	fileZoneB = core.Zone{Region: "europe-west4", Name: "europe-west4-a"}
+)
+
+func sampleFile() *File {
+	return &File{
+		Name:        "sample",
+		Description: "two zones, one cap move",
+		Trace: &Trace{
+			Horizon: 2 * time.Hour,
+			Events: []Event{
+				{At: 0, Zone: fileZoneA, GPU: core.A100, Delta: 8},
+				{At: 30 * time.Minute, Zone: fileZoneB, GPU: core.V100, Delta: 4},
+				{At: time.Hour, Zone: fileZoneA, GPU: core.A100, Delta: -3},
+			},
+			CapEvents: []CapEvent{{At: 45 * time.Minute, GPUs: 6}},
+		},
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	f := sampleFile()
+	doc, err := Save(f)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(doc)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Name != f.Name || got.Description != f.Description {
+		t.Fatalf("metadata: got %q/%q, want %q/%q", got.Name, got.Description, f.Name, f.Description)
+	}
+	if got.Trace.Horizon != f.Trace.Horizon {
+		t.Fatalf("horizon: got %v, want %v", got.Trace.Horizon, f.Trace.Horizon)
+	}
+	if len(got.Trace.Events) != len(f.Trace.Events) {
+		t.Fatalf("events: got %d, want %d", len(got.Trace.Events), len(f.Trace.Events))
+	}
+	for i := range got.Trace.Events {
+		if got.Trace.Events[i] != f.Trace.Events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got.Trace.Events[i], f.Trace.Events[i])
+		}
+	}
+	if len(got.Trace.CapEvents) != 1 || got.Trace.CapEvents[0] != f.Trace.CapEvents[0] {
+		t.Fatalf("cap events: got %+v", got.Trace.CapEvents)
+	}
+	// Canonical: re-encoding the decoded file reproduces the bytes.
+	doc2, err := Save(got)
+	if err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	if string(doc) != string(doc2) {
+		t.Fatalf("encoding not canonical:\n%s\nvs\n%s", doc, doc2)
+	}
+}
+
+func TestTraceFileCanonicalizesOrder(t *testing.T) {
+	// Out-of-order events (including a same-instant tie) must encode in the
+	// stable time-sorted order: sorted by At, insertion order kept for ties.
+	f := &File{
+		Name: "unordered",
+		Trace: &Trace{
+			Horizon: time.Hour,
+			Events: []Event{
+				{At: 30 * time.Minute, Zone: fileZoneA, GPU: core.A100, Delta: -2},
+				{At: 0, Zone: fileZoneA, GPU: core.A100, Delta: 4},
+				{At: 30 * time.Minute, Zone: fileZoneA, GPU: core.A100, Delta: 1},
+			},
+		},
+	}
+	doc, err := Save(f)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(doc)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := []int{4, -2, 1}
+	for i, d := range want {
+		if got.Trace.Events[i].Delta != d {
+			t.Fatalf("event %d delta = %d, want %d (stable sort violated)", i, got.Trace.Events[i].Delta, d)
+		}
+	}
+	// Save does not mutate its argument.
+	if f.Trace.Events[0].At != 30*time.Minute {
+		t.Fatal("Save mutated the input trace")
+	}
+}
+
+func TestTraceFileRejections(t *testing.T) {
+	valid, err := Save(sampleFile())
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"unknown version", strings.Replace(string(valid), `"v": 1`, `"v": 2`, 1),
+			"unsupported trace-file schema version 2"},
+		{"wrong kind", strings.Replace(string(valid), `"kind": "trace"`, `"kind": "plan"`, 1),
+			`kind "plan"`},
+		{"unknown field", strings.Replace(string(valid), `"name"`, `"bogus_field"`, 1),
+			"unknown field"},
+		{"not json", "spot log dump", "decode envelope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Load accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTraceFileValidation(t *testing.T) {
+	base := func() *File { return sampleFile() }
+	cases := []struct {
+		name   string
+		mutate func(*File)
+		want   string
+	}{
+		{"nil trace", func(f *File) { f.Trace = nil }, "nil trace"},
+		{"no name", func(f *File) { f.Name = "" }, "needs a name"},
+		{"no horizon", func(f *File) { f.Trace.Horizon = 0 }, "not positive"},
+		{"no events", func(f *File) { f.Trace.Events = nil }, "no availability events"},
+		{"event past horizon", func(f *File) { f.Trace.Events[0].At = 3 * time.Hour }, "outside"},
+		{"negative time", func(f *File) { f.Trace.Events[0].At = -time.Minute }, "outside"},
+		{"unnamed zone", func(f *File) { f.Trace.Events[0].Zone.Name = "" }, "names no zone"},
+		{"unnamed gpu", func(f *File) { f.Trace.Events[0].GPU = "" }, "names no zone"},
+		{"cap past horizon", func(f *File) { f.Trace.CapEvents[0].At = 3 * time.Hour }, "outside"},
+		{"negative cap", func(f *File) { f.Trace.CapEvents[0].GPUs = -1 }, "negative cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base()
+			tc.mutate(f)
+			if _, err := Save(f); err == nil {
+				t.Fatalf("Save accepted %s", tc.name)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+const sampleCSV = `# name: spot-log
+# description: imported spot reclamation log
+# horizon: 2h
+kind,at_seconds,region,zone,gpu,delta
+event,0,us-central1,us-central1-a,A100-40,8
+event,1800,europe-west4,europe-west4-a,V100-16,4
+cap,2700,,,,6
+event,3600,us-central1,us-central1-a,A100-40,-3
+`
+
+func TestLoadCSV(t *testing.T) {
+	f, err := LoadCSV([]byte(sampleCSV))
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if f.Name != "spot-log" || f.Description != "imported spot reclamation log" {
+		t.Fatalf("directives not parsed: %q / %q", f.Name, f.Description)
+	}
+	// The CSV above is the sample file modulo metadata: canonical JSON of
+	// both traces must match byte-for-byte (CSV import canonicalizes).
+	want := sampleFile()
+	want.Name, want.Description = f.Name, f.Description
+	wantDoc, err := Save(want)
+	if err != nil {
+		t.Fatalf("Save want: %v", err)
+	}
+	gotDoc, err := Save(f)
+	if err != nil {
+		t.Fatalf("Save got: %v", err)
+	}
+	if string(gotDoc) != string(wantDoc) {
+		t.Fatalf("CSV import does not canonicalize to the sample JSON:\n%s\nvs\n%s", gotDoc, wantDoc)
+	}
+}
+
+func TestLoadCSVDefaultsHorizon(t *testing.T) {
+	csv := "kind,at_seconds,region,zone,gpu,delta\nevent,0,r,z,A100,2\nevent,7200,r,z,A100,-1\n"
+	f, err := LoadCSV([]byte(csv))
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if f.Trace.Horizon != 2*time.Hour {
+		t.Fatalf("horizon defaulted to %v, want last event at 2h", f.Trace.Horizon)
+	}
+	if f.Name != "csv-import" {
+		t.Fatalf("name defaulted to %q", f.Name)
+	}
+}
+
+func TestLoadCSVRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		want string
+	}{
+		{"bad header", "time,zone,a,b,c,d\n", "csv header"},
+		{"unknown kind", "kind,at_seconds,region,zone,gpu,delta\nblackout,0,r,z,A100,1\n", "unknown kind"},
+		{"bad delta", "kind,at_seconds,region,zone,gpu,delta\nevent,0,r,z,A100,many\n", "bad delta"},
+		{"bad time", "kind,at_seconds,region,zone,gpu,delta\nevent,noon,r,z,A100,1\n", "bad at_seconds"},
+		{"bad horizon", "# horizon: yesterday\nkind,at_seconds,region,zone,gpu,delta\nevent,0,r,z,A100,1\n", "horizon directive"},
+		{"empty", "", "no header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadCSV([]byte(tc.csv)); err == nil {
+				t.Fatalf("LoadCSV accepted %s", tc.name)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadBodyRejections covers boundary failures past the envelope: a
+// well-formed envelope whose body is missing a name or fails trace
+// validation is rejected with the same clear errors as a hand-built Trace.
+func TestLoadBodyRejections(t *testing.T) {
+	valid, err := Save(sampleFile())
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty name", strings.Replace(string(valid), `"name": "sample"`, `"name": ""`, 1),
+			"no name"},
+		{"invalid body", strings.Replace(string(valid), `"horizon_ns": 7200000000000`, `"horizon_ns": 1`, 1),
+			"outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load([]byte(tc.doc)); err == nil {
+				t.Fatalf("Load accepted %s", tc.name)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadCSVEdgeCases: comment lines without a directive colon are
+// skipped, an all-t=0 trace falls back to the 1h default horizon, and a
+// mid-file malformed row (wrong field count) or a validation failure
+// (event beyond an explicit horizon) is rejected.
+func TestLoadCSVEdgeCases(t *testing.T) {
+	f, err := LoadCSV([]byte("# just a comment\nkind,at_seconds,region,zone,gpu,delta\nevent,0,r,z,A100,2\n"))
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if f.Trace.Horizon != time.Hour {
+		t.Errorf("all-t=0 horizon = %v, want the 1h fallback", f.Trace.Horizon)
+	}
+
+	if _, err := LoadCSV([]byte("kind,at_seconds,region,zone,gpu,delta\nevent,0,r,z\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := LoadCSV([]byte("# horizon: 1h\nkind,at_seconds,region,zone,gpu,delta\nevent,7200,r,z,A100,2\n")); err == nil ||
+		!strings.Contains(err.Error(), "outside") {
+		t.Errorf("event past explicit horizon: err = %v", err)
+	}
+}

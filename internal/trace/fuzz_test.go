@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -116,6 +118,148 @@ func FuzzTraceApply(f *testing.F) {
 			if tr.Events[i] != tr2.Events[i] {
 				t.Fatalf("replay not deterministic at event %d", i)
 			}
+		}
+	})
+}
+
+// FuzzComposeApply extends FuzzTraceApply to overlaid traces — satellite 1's
+// property under fuzzing: for arbitrary base event sequences and overlay
+// parameters, Compose output preserves every invariant a raw trace has
+// (stable time order, clamped non-negative availability, CountAt == PoolAt,
+// non-negative caps) and composes deterministically.
+func FuzzComposeApply(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(128), uint8(255))
+	f.Add([]byte{10, 0, 0x00, 8, 100, 0, 0x10, 6, 150, 0, 0x00, 0x80}, uint8(60), uint8(180), uint8(128))
+	f.Add([]byte{50, 0, 0x00, 3, 50, 0, 0x00, 0xFE}, uint8(255), uint8(0), uint8(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, a, b, sev uint8) {
+		base := Synthetic(4*time.Hour, decodeEvents(data)...)
+		lo, hi := float64(a)/255, float64(b)/255
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		overlays := []Overlay{
+			PriceSpike(lo, hi, float64(sev)/255),
+			CorrelatedFailure(lo, hi-lo, fuzzZones[int(sev)%len(fuzzZones)]),
+			DemandAutoscale(CapPoint{Frac: lo, Scale: 1}, CapPoint{Frac: hi, Scale: float64(sev) / 255}),
+		}
+		got := Compose(base, overlays...)
+
+		for i := 1; i < len(got.Events); i++ {
+			if got.Events[i].At < got.Events[i-1].At {
+				t.Fatalf("composed events out of order at %d", i)
+			}
+		}
+		for i, c := range got.CapEvents {
+			if i > 0 && c.At < got.CapEvents[i-1].At {
+				t.Fatalf("composed cap events out of order at %d", i)
+			}
+			if c.GPUs < 0 {
+				t.Fatalf("composed cap %d negative: %d", i, c.GPUs)
+			}
+		}
+		ats := []time.Duration{0, got.Horizon}
+		for _, e := range got.Events {
+			ats = append(ats, e.At, e.At+time.Second)
+		}
+		for _, at := range ats {
+			pool := got.PoolAt(at)
+			for _, z := range fuzzZones {
+				for _, g := range fuzzGPUs {
+					n := got.CountAt(at, z, g)
+					if n < 0 {
+						t.Fatalf("negative composed CountAt(%v, %s, %s) = %d", at, z, g, n)
+					}
+					if p := pool.Available(z, g); p != n {
+						t.Fatalf("composed replay views disagree at %v for (%s,%s): CountAt=%d PoolAt=%d",
+							at, z, g, n, p)
+					}
+				}
+			}
+		}
+		// Composition is deterministic and never mutates the base.
+		again := Compose(base, overlays...)
+		if len(again.Events) != len(got.Events) || len(again.CapEvents) != len(got.CapEvents) {
+			t.Fatal("Compose not deterministic")
+		}
+		for i := range got.Events {
+			if again.Events[i] != got.Events[i] {
+				t.Fatalf("Compose not deterministic at event %d", i)
+			}
+		}
+	})
+}
+
+// FuzzTraceFileRoundTrip pins the external trace-file schema under fuzzing:
+// Save∘Load is the identity on canonical documents, Load rejects unknown
+// schema versions by name, and the CSV import of the same events
+// canonicalizes to the identical JSON document.
+func FuzzTraceFileRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 0, 0x00, 8})
+	f.Add([]byte{10, 0, 0x00, 2, 20, 0, 0x00, 0x80, 30, 0, 0x00, 2})
+	f.Add([]byte{200, 0, 0x10, 4, 10, 0, 0x10, 4, 100, 0, 0x01, 0xFC})
+	f.Add([]byte{50, 0, 0x00, 3, 50, 0, 0x21, 1, 0xFF, 0xFF, 0x00, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := decodeEvents(data)
+		if len(evs) == 0 {
+			// Validation rejects empty traces; that path is covered by unit
+			// tests, not the round-trip property.
+			return
+		}
+		tr := Synthetic(4*time.Hour, evs...)
+		if last := tr.Events[len(tr.Events)-1].At; last > tr.Horizon {
+			tr.Horizon = last
+		}
+		file := &File{Name: "fuzz", Trace: tr}
+		doc, err := Save(file)
+		if err != nil {
+			t.Fatalf("Save rejected a valid trace: %v", err)
+		}
+		got, err := Load(doc)
+		if err != nil {
+			t.Fatalf("Load rejected Save output: %v", err)
+		}
+		doc2, err := Save(got)
+		if err != nil {
+			t.Fatalf("re-Save: %v", err)
+		}
+		if string(doc) != string(doc2) {
+			t.Fatalf("decode∘encode not the identity:\n%s\nvs\n%s", doc, doc2)
+		}
+		if got.Trace.Horizon != tr.Horizon || len(got.Trace.Events) != len(tr.Events) {
+			t.Fatalf("round trip lost events or horizon")
+		}
+
+		// Version rejection by name: the same document with a bumped version
+		// tag must fail mentioning both versions.
+		bumped := strings.Replace(string(doc), fmt.Sprintf(`"v": %d`, FileVersion),
+			fmt.Sprintf(`"v": %d`, FileVersion+1), 1)
+		if _, err := Load([]byte(bumped)); err == nil {
+			t.Fatal("Load accepted a bumped schema version")
+		} else if !strings.Contains(err.Error(), fmt.Sprintf("version %d", FileVersion+1)) {
+			t.Fatalf("version rejection does not name the version: %v", err)
+		}
+
+		// CSV import canonicalizes to the identical JSON document.
+		var csv strings.Builder
+		fmt.Fprintf(&csv, "# name: fuzz\n# horizon: %ds\n", int64(tr.Horizon/time.Second))
+		csv.WriteString("kind,at_seconds,region,zone,gpu,delta\n")
+		for _, e := range tr.Events {
+			fmt.Fprintf(&csv, "event,%d,%s,%s,%s,%d\n",
+				int64(e.At/time.Second), e.Zone.Region, e.Zone.Name, e.GPU, e.Delta)
+		}
+		fromCSV, err := LoadCSV([]byte(csv.String()))
+		if err != nil {
+			t.Fatalf("LoadCSV rejected generated log: %v", err)
+		}
+		csvDoc, err := Save(fromCSV)
+		if err != nil {
+			t.Fatalf("Save of CSV import: %v", err)
+		}
+		if string(csvDoc) != string(doc) {
+			t.Fatalf("CSV import does not canonicalize to the JSON document:\n%s\nvs\n%s", csvDoc, doc)
 		}
 	})
 }

@@ -1,0 +1,269 @@
+package trace
+
+// Composable scenario overlays: pure transformations layered over a base
+// trace with Compose. Each primitive models one market behaviour the base
+// families do not — spot-price spikes squeezing capacity for a window,
+// correlated multi-zone failures, and demand autoscaling that moves the
+// fleet's per-job GPU cap with the trace — and every overlay preserves the
+// replay invariants FuzzTraceApply pins: output events stay stably sorted,
+// availability never goes negative (clamped stepwise), and CountAt agrees
+// with PoolAt at every boundary.
+//
+// The subtle contract is the clamp interaction: an overlay that removes
+// capacity and later restores it cannot blindly add back what it took,
+// because base reclamations inside the window clamp at zero and a blind
+// restore would mint capacity the base trace never had. Overlays therefore
+// close their windows by *levelling*: the restore delta is computed as
+// (reference level) − (current level) at the window's end, where the
+// reference is the trace as it stood before the overlay applied. Stepwise
+// clamping is order-preserving (a ≤ b implies clamp(a+d) ≤ clamp(b+d)), so
+// after the window closes the composed trace replays the base exactly —
+// TestOverlayWindowParity pins this.
+//
+// Overlay times are horizon fractions, like the scenario families' event
+// times, so composed scenarios compress cleanly under -horizon overrides.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Overlay is one named, pure trace transformation. Apply never mutates its
+// input; Compose chains overlays left to right.
+type Overlay struct {
+	// Name identifies the overlay; a composed scenario is registered as
+	// "<base>+<overlay>[+<overlay>...]".
+	Name string
+	// Apply returns the transformed trace.
+	Apply func(in *Trace) *Trace
+}
+
+// Compose layers overlays over a base trace, left to right, and returns a
+// canonical (stably sorted, clamp-consistent) trace. The base is never
+// mutated. Compose output satisfies the same invariants FuzzTraceApply
+// checks on raw traces — FuzzComposeApply pins that for arbitrary bases.
+func Compose(base *Trace, overlays ...Overlay) *Trace {
+	out := base.Clone()
+	out.sortEvents()
+	for _, ov := range overlays {
+		out = ov.Apply(out)
+		out.sortEvents()
+		for i := range out.CapEvents {
+			if out.CapEvents[i].GPUs < 0 {
+				out.CapEvents[i].GPUs = 0
+			}
+		}
+	}
+	return out
+}
+
+// traceCells lists the (zone, GPU type) series a trace mentions, in first
+// appearance order — the deterministic iteration order overlays use.
+func traceCells(t *Trace) []struct {
+	z core.Zone
+	g core.GPUType
+} {
+	type cell struct {
+		z core.Zone
+		g core.GPUType
+	}
+	seen := map[cell]bool{}
+	var out []struct {
+		z core.Zone
+		g core.GPUType
+	}
+	for _, e := range t.Events {
+		c := cell{e.Zone, e.GPU}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, struct {
+				z core.Zone
+				g core.GPUType
+			}{e.Zone, e.GPU})
+		}
+	}
+	return out
+}
+
+// clampFrac bounds a horizon fraction to [0, 1].
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// PriceSpike models a spot-market price spike: for the window
+// [start, end] (horizon fractions), every availability series loses
+// ceil(level × severity) GPUs at the window start, and at the window end
+// each series is levelled back to its pre-overlay trajectory. Base events
+// inside the window still apply (the market keeps moving under the spike),
+// and the close-by-levelling rule keeps the post-window replay identical
+// to the base even when in-window reclamations clamped at zero.
+func PriceSpike(start, end, severity float64) Overlay {
+	return Overlay{
+		Name: "price-spike",
+		Apply: func(in *Trace) *Trace {
+			start, end = clampFrac(start), clampFrac(end)
+			if end <= start || severity <= 0 {
+				return in.Clone()
+			}
+			ref := in
+			out := in.Clone()
+			s := time.Duration(float64(out.Horizon) * start)
+			e := time.Duration(float64(out.Horizon) * end)
+			for _, c := range traceCells(ref) {
+				lvl := ref.CountAt(s, c.z, c.g)
+				take := int(math.Ceil(float64(lvl) * severity))
+				if take > 0 {
+					out.Events = append(out.Events, Event{At: s, Zone: c.z, GPU: c.g, Delta: -take})
+				}
+			}
+			out.sortEvents()
+			for _, c := range traceCells(ref) {
+				if d := ref.CountAt(e, c.z, c.g) - out.CountAt(e, c.z, c.g); d != 0 {
+					out.Events = append(out.Events, Event{At: e, Zone: c.z, GPU: c.g, Delta: d})
+				}
+			}
+			out.sortEvents()
+			return out
+		},
+	}
+}
+
+// CorrelatedFailure models a correlated multi-zone outage: at the `at`
+// horizon fraction every affected zone (all zones the trace mentions when
+// none are named — the full-blackout case) goes dark for `dur` of the
+// horizon. Base events inside the window for affected zones are removed
+// (a dead zone grants nothing), and at recovery each series is levelled
+// back to its pre-overlay trajectory, so the post-window replay matches
+// the base exactly.
+func CorrelatedFailure(at, dur float64, zones ...core.Zone) Overlay {
+	return Overlay{
+		Name: "correlated-failure",
+		Apply: func(in *Trace) *Trace {
+			at = clampFrac(at)
+			if dur <= 0 {
+				return in.Clone()
+			}
+			ref := in
+			out := in.Clone()
+			a := time.Duration(float64(out.Horizon) * at)
+			r := time.Duration(float64(out.Horizon) * clampFrac(at+dur))
+			affected := func(z core.Zone) bool {
+				if len(zones) == 0 {
+					return true
+				}
+				for _, zz := range zones {
+					if zz == z {
+						return true
+					}
+				}
+				return false
+			}
+			// A dead zone emits nothing: drop its base events inside the
+			// outage window.
+			kept := out.Events[:0]
+			for _, e := range out.Events {
+				if affected(e.Zone) && e.At >= a && e.At < r {
+					continue
+				}
+				kept = append(kept, e)
+			}
+			out.Events = kept
+			// Blackout: each affected series drops to zero at the outage
+			// instant.
+			for _, c := range traceCells(ref) {
+				if !affected(c.z) {
+					continue
+				}
+				out.sortEvents()
+				if lvl := out.CountAt(a, c.z, c.g); lvl > 0 {
+					out.Events = append(out.Events, Event{At: a, Zone: c.z, GPU: c.g, Delta: -lvl})
+				}
+			}
+			out.sortEvents()
+			// Recovery: level each affected series back to the reference
+			// trajectory at the window's end.
+			for _, c := range traceCells(ref) {
+				if !affected(c.z) {
+					continue
+				}
+				if d := ref.CountAt(r, c.z, c.g) - out.CountAt(r, c.z, c.g); d != 0 {
+					out.Events = append(out.Events, Event{At: r, Zone: c.z, GPU: c.g, Delta: d})
+				}
+			}
+			out.sortEvents()
+			return out
+		},
+	}
+}
+
+// CapPoint is one step of a demand-autoscaling schedule: at the Frac
+// horizon fraction, the fleet's per-job GPU cap becomes Scale × the
+// trace's peak total availability (rounded, floored at 1 GPU when the
+// scale is positive; a non-positive scale removes the cap).
+type CapPoint struct {
+	Frac  float64
+	Scale float64
+}
+
+// DemandAutoscale models demand-driven quota movement: the schedule's cap
+// points become CapEvents on the trace, which the fleet replay path
+// applies through Ledger.SetJobCap — shrinking the cap mid-trace evicts
+// oversized leases in admission order and forces replans, exactly like a
+// capacity loss. Scales are relative to the trace's peak total
+// availability, so the schedule tracks -base overrides.
+func DemandAutoscale(points ...CapPoint) Overlay {
+	return Overlay{
+		Name: "autoscale",
+		Apply: func(in *Trace) *Trace {
+			out := in.Clone()
+			peak := out.PeakGPUs()
+			for _, p := range points {
+				gpus := 0
+				if p.Scale > 0 {
+					gpus = int(math.Round(p.Scale * float64(peak)))
+					if gpus < 1 {
+						gpus = 1
+					}
+				}
+				out.CapEvents = append(out.CapEvents, CapEvent{
+					At:   time.Duration(float64(out.Horizon) * clampFrac(p.Frac)),
+					GPUs: gpus,
+				})
+			}
+			out.sortEvents()
+			return out
+		},
+	}
+}
+
+// ComposedScenario wraps a base scenario with overlays as a new registry
+// entry named "<base>+<overlay>[+...]": the composed trace is
+// Compose(base.TraceWith(seed, opts), overlays...), so composed scenarios
+// stay pure functions of (seed, opts) and name-resolve in every CLI that
+// speaks ScenarioByName.
+func ComposedScenario(base Scenario, overlays ...Overlay) Scenario {
+	names := make([]string, len(overlays))
+	for i, ov := range overlays {
+		names[i] = ov.Name
+	}
+	suffix := strings.Join(names, "+")
+	return Scenario{
+		Name:        base.Name + "+" + suffix,
+		Description: fmt.Sprintf("%s, overlaid with %s", base.Description, suffix),
+		GPUs:        base.GPUs,
+		Defaults:    base.Defaults,
+		gen: func(seed int64, o ScenarioOpts) *Trace {
+			return Compose(base.gen(seed, o), overlays...)
+		},
+	}
+}

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// checkTraceInvariants asserts the replay invariants FuzzTraceApply pins on
+// raw traces: events (and cap events) time-sorted, availability never
+// negative, CountAt agreeing with PoolAt at every boundary, caps
+// non-negative. Compose output must satisfy all of them — satellite 1.
+func checkTraceInvariants(t *testing.T, tr *Trace) {
+	t.Helper()
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].At < tr.Events[i-1].At {
+			t.Fatalf("events out of order at %d: %v after %v", i, tr.Events[i].At, tr.Events[i-1].At)
+		}
+	}
+	for i, c := range tr.CapEvents {
+		if i > 0 && c.At < tr.CapEvents[i-1].At {
+			t.Fatalf("cap events out of order at %d", i)
+		}
+		if c.GPUs < 0 {
+			t.Fatalf("cap event %d negative: %d", i, c.GPUs)
+		}
+	}
+	ats := []time.Duration{0, tr.Horizon}
+	for _, e := range tr.Events {
+		ats = append(ats, e.At, e.At+time.Second)
+	}
+	for _, at := range ats {
+		pool := tr.PoolAt(at)
+		for _, z := range fuzzZones {
+			for _, g := range fuzzGPUs {
+				n := tr.CountAt(at, z, g)
+				if n < 0 {
+					t.Fatalf("negative CountAt(%v, %s, %s) = %d", at, z, g, n)
+				}
+				if p := pool.Available(z, g); p != n {
+					t.Fatalf("replay views disagree at %v for (%s,%s): CountAt=%d PoolAt=%d", at, z, g, n, p)
+				}
+			}
+		}
+	}
+}
+
+// overlayBase is a two-zone trace with an in-window reclamation that clamps
+// — the shape that breaks naive "restore what you took" overlays.
+func overlayBase() *Trace {
+	return Synthetic(4*time.Hour,
+		Event{At: 0, Zone: fuzzZones[0], GPU: core.A100, Delta: 8},
+		Event{At: 30 * time.Minute, Zone: fuzzZones[1], GPU: core.A100, Delta: 6},
+		// Inside the overlay windows below: an over-reclaim that clamps at
+		// zero once a spike or outage has already drained the series.
+		Event{At: 2 * time.Hour, Zone: fuzzZones[0], GPU: core.A100, Delta: -5},
+		Event{At: 2*time.Hour + 30*time.Minute, Zone: fuzzZones[0], GPU: core.A100, Delta: 4},
+		Event{At: 3*time.Hour + 30*time.Minute, Zone: fuzzZones[1], GPU: core.A100, Delta: 2},
+	)
+}
+
+// TestOverlayWindowParity pins the close-by-levelling contract: after an
+// overlay's window ends, the composed trace replays the base exactly, even
+// though in-window clamping made the naive restore delta wrong.
+func TestOverlayWindowParity(t *testing.T) {
+	base := overlayBase()
+	for _, tc := range []struct {
+		name string
+		ov   Overlay
+		end  time.Duration
+	}{
+		{"price-spike", PriceSpike(0.25, 0.75, 0.9), 3 * time.Hour},
+		{"correlated-failure", CorrelatedFailure(0.25, 0.5), 3 * time.Hour},
+		{"zoned-failure", CorrelatedFailure(0.25, 0.5, fuzzZones[0]), 3 * time.Hour},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compose(base, tc.ov)
+			checkTraceInvariants(t, got)
+			for at := tc.end; at <= base.Horizon; at += 15 * time.Minute {
+				for _, z := range fuzzZones {
+					for _, g := range fuzzGPUs {
+						if b, c := base.CountAt(at, z, g), got.CountAt(at, z, g); b != c {
+							t.Fatalf("post-window divergence at %v (%s,%s): base=%d composed=%d", at, z, g, b, c)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPriceSpikeReducesWindow(t *testing.T) {
+	base := overlayBase()
+	got := Compose(base, PriceSpike(0.25, 0.75, 0.5))
+	at := 90 * time.Minute // inside [1h, 3h)
+	for _, z := range fuzzZones[:2] {
+		b, c := base.CountAt(at, z, core.A100), got.CountAt(at, z, core.A100)
+		if c >= b {
+			t.Fatalf("spike did not reduce (%s): base=%d composed=%d", z, b, c)
+		}
+	}
+	// Base is untouched (Compose clones).
+	if base.CountAt(at, fuzzZones[0], core.A100) != 8 {
+		t.Fatal("Compose mutated the base trace")
+	}
+}
+
+func TestCorrelatedFailureBlackout(t *testing.T) {
+	base := overlayBase()
+	got := Compose(base, CorrelatedFailure(0.25, 0.25, fuzzZones[0]))
+	during := 90 * time.Minute // inside [1h, 2h)
+	if n := got.CountAt(during, fuzzZones[0], core.A100); n != 0 {
+		t.Fatalf("affected zone not dark during outage: %d", n)
+	}
+	if b, c := base.CountAt(during, fuzzZones[1], core.A100), got.CountAt(during, fuzzZones[1], core.A100); b != c {
+		t.Fatalf("unaffected zone disturbed: base=%d composed=%d", b, c)
+	}
+}
+
+func TestDemandAutoscaleCaps(t *testing.T) {
+	base := overlayBase() // peak total availability: 7 + 8 = 15 at 3h30
+	got := Compose(base, DemandAutoscale(
+		CapPoint{Frac: 0, Scale: 1},
+		CapPoint{Frac: 0.5, Scale: 0.25},
+		CapPoint{Frac: 0.75, Scale: 0},
+	))
+	if peak := base.PeakGPUs(); peak != 15 {
+		t.Fatalf("peak = %d, want 15", peak)
+	}
+	if cap, ok := got.CapAt(0); !ok || cap != 15 {
+		t.Fatalf("cap at 0 = %d/%v, want 15", cap, ok)
+	}
+	if cap, ok := got.CapAt(2 * time.Hour); !ok || cap != 4 { // round(0.25×15) = 4
+		t.Fatalf("cap at 2h = %d/%v, want 4", cap, ok)
+	}
+	if cap, ok := got.CapAt(3 * time.Hour); !ok || cap != 0 { // scale 0 removes the cap
+		t.Fatalf("cap at 3h = %d/%v, want 0 (uncapped)", cap, ok)
+	}
+	if len(base.CapEvents) != 0 {
+		t.Fatal("Compose mutated the base trace's cap events")
+	}
+}
+
+// TestComposedScenariosRegistered checks the composed entries name-resolve
+// and equal a manual Compose of their base — the registry wiring, not the
+// overlay math.
+func TestComposedScenariosRegistered(t *testing.T) {
+	cases := []struct {
+		name string
+		base Scenario
+		ovs  []Overlay
+	}{
+		{"preemption-storm+autoscale", PreemptionStorm(), []Overlay{DemandAutoscale(
+			CapPoint{Frac: 0, Scale: 1},
+			CapPoint{Frac: 0.35, Scale: 0.25},
+			CapPoint{Frac: 0.7, Scale: 0.6},
+		)}},
+		{"geo-shift+correlated-failure", GeoShift(), []Overlay{CorrelatedFailure(0.55, 0.15)}},
+		{"hetero-arrivals+price-spike", HeteroArrivals(), []Overlay{PriceSpike(0.5, 0.7, 0.5)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, ok := ScenarioByName(tc.name)
+			if !ok {
+				t.Fatalf("composed scenario %q not registered", tc.name)
+			}
+			got := s.Trace(42)
+			want := Compose(tc.base.TraceWith(42, tc.base.Defaults), tc.ovs...)
+			if len(got.Events) != len(want.Events) {
+				t.Fatalf("event count %d, want %d", len(got.Events), len(want.Events))
+			}
+			for i := range got.Events {
+				if got.Events[i] != want.Events[i] {
+					t.Fatalf("event %d: got %+v want %+v", i, got.Events[i], want.Events[i])
+				}
+			}
+			if len(got.CapEvents) != len(want.CapEvents) {
+				t.Fatalf("cap count %d, want %d", len(got.CapEvents), len(want.CapEvents))
+			}
+			checkTraceInvariants(t, got)
+		})
+	}
+}
+
+// TestComposeScenarioInvariants is the satellite-1 property test in table
+// form: for every registered scenario (composed ones included) across a
+// seed sweep, Compose output passes the same invariants FuzzTraceApply
+// checks on raw traces.
+func TestComposeScenarioInvariants(t *testing.T) {
+	overlays := [][]Overlay{
+		nil,
+		{PriceSpike(0.2, 0.6, 0.7)},
+		{CorrelatedFailure(0.3, 0.2)},
+		{PriceSpike(0.1, 0.5, 0.4), CorrelatedFailure(0.4, 0.3), DemandAutoscale(CapPoint{Frac: 0.5, Scale: 0.5})},
+	}
+	for _, s := range Scenarios() {
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, ovs := range overlays {
+				checkTraceInvariants(t, Compose(s.Trace(seed), ovs...))
+			}
+		}
+	}
+}
+
+// TestOverlayNoOpWindows pins the degenerate-parameter branches: an empty
+// or inverted window, zero severity, zero duration, and out-of-range
+// horizon fractions (clamped to [0, 1]) all reduce to a clone of the base.
+func TestOverlayNoOpWindows(t *testing.T) {
+	base := overlayBase()
+	noops := map[string]Overlay{
+		"spike empty window":   PriceSpike(0.6, 0.4, 0.5),
+		"spike zero severity":  PriceSpike(0.2, 0.8, 0),
+		"failure zero dur":     CorrelatedFailure(0.5, 0),
+		"spike clamped window": PriceSpike(-3, -1, 0.5), // clamps to [0, 0]: empty
+	}
+	for name, ov := range noops {
+		got := Compose(base, ov)
+		want := Compose(base)
+		if len(got.Events) != len(want.Events) {
+			t.Errorf("%s: %d events, want %d (a no-op)", name, len(got.Events), len(want.Events))
+			continue
+		}
+		for i := range got.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Errorf("%s: event %d = %+v, want %+v", name, i, got.Events[i], want.Events[i])
+			}
+		}
+	}
+	// An over-range window clamps to the full horizon: reduced mid-window,
+	// levelled back to the base at the horizon itself.
+	got := Compose(base, PriceSpike(-0.5, 1.5, 0.5))
+	checkTraceInvariants(t, got)
+	if got.PoolAt(base.Horizon/2).TotalGPUs() >= base.PoolAt(base.Horizon/2).TotalGPUs() {
+		t.Errorf("full-horizon spike did not reduce mid-window availability")
+	}
+	if got.PoolAt(base.Horizon).TotalGPUs() != base.PoolAt(base.Horizon).TotalGPUs() {
+		t.Errorf("full-horizon spike did not level back at the horizon")
+	}
+}
+
+// TestComposeClampsNegativeCaps: a hostile overlay emitting negative cap
+// events is sanitized — Compose clamps caps at 0 (unlimited), never
+// letting a negative cap reach the fleet ledger.
+func TestComposeClampsNegativeCaps(t *testing.T) {
+	hostile := Overlay{Name: "hostile", Apply: func(in *Trace) *Trace {
+		out := in.Clone()
+		out.CapEvents = append(out.CapEvents, CapEvent{At: time.Hour, GPUs: -4})
+		return out
+	}}
+	got := Compose(overlayBase(), hostile)
+	for _, c := range got.CapEvents {
+		if c.GPUs < 0 {
+			t.Fatalf("negative cap survived Compose: %+v", c)
+		}
+	}
+	checkTraceInvariants(t, got)
+}
+
+// TestGPUTypes: distinct types in sorted order, regardless of event order.
+func TestGPUTypes(t *testing.T) {
+	tr := Synthetic(time.Hour,
+		Event{At: 0, Zone: fuzzZones[0], GPU: core.V100, Delta: 2},
+		Event{At: 0, Zone: fuzzZones[1], GPU: core.A100, Delta: 4},
+		Event{At: 30 * time.Minute, Zone: fuzzZones[0], GPU: core.V100, Delta: -1},
+	)
+	got := tr.GPUTypes()
+	if len(got) != 2 || got[0] != core.A100 || got[1] != core.V100 {
+		t.Fatalf("GPUTypes = %v, want [%s %s]", got, core.A100, core.V100)
+	}
+}

@@ -87,6 +87,16 @@ var registry = []Scenario{
 	ZoneOutage(),
 	HeteroArrivals(),
 	GeoShift(),
+	// Composed scenarios: base families layered with overlays (overlay.go).
+	// Each stays a pure function of (seed, opts) — Compose is deterministic —
+	// so the golden determinism contract extends to them unchanged.
+	ComposedScenario(PreemptionStorm(), DemandAutoscale(
+		CapPoint{Frac: 0, Scale: 1},
+		CapPoint{Frac: 0.35, Scale: 0.25},
+		CapPoint{Frac: 0.7, Scale: 0.6},
+	)),
+	ComposedScenario(GeoShift(), CorrelatedFailure(0.55, 0.15)),
+	ComposedScenario(HeteroArrivals(), PriceSpike(0.5, 0.7, 0.5)),
 }
 
 // series tracks one (zone, gpu) availability level and emits the delta

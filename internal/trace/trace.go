@@ -27,15 +27,54 @@ type Event struct {
 	Delta int
 }
 
-// Trace is a time-ordered sequence of availability events over a horizon.
-type Trace struct {
-	Horizon time.Duration
-	Events  []Event
+// CapEvent is one demand-autoscaling directive: at time At the fleet's
+// per-job GPU cap becomes GPUs (0 removes the cap). Cap events ride
+// alongside availability events in external trace files and composed
+// scenarios; the fleet replay path applies them through
+// fleet.Ledger.SetJobCap, evicting oversized leases in admission order.
+type CapEvent struct {
+	At   time.Duration
+	GPUs int
 }
 
-// sortEvents orders events by time, keeping insertion order for ties.
+// Trace is a time-ordered sequence of availability events over a horizon,
+// optionally annotated with demand-autoscaling cap events.
+type Trace struct {
+	Horizon   time.Duration
+	Events    []Event
+	CapEvents []CapEvent
+}
+
+// sortEvents orders events (and cap events) by time, keeping insertion
+// order for ties — the canonical ordering every replay view assumes.
 func (t *Trace) sortEvents() {
 	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].At < t.Events[j].At })
+	sort.SliceStable(t.CapEvents, func(i, j int) bool { return t.CapEvents[i].At < t.CapEvents[j].At })
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{Horizon: t.Horizon}
+	if t.Events != nil {
+		out.Events = append([]Event(nil), t.Events...)
+	}
+	if t.CapEvents != nil {
+		out.CapEvents = append([]CapEvent(nil), t.CapEvents...)
+	}
+	return out
+}
+
+// CapAt returns the per-job GPU cap in force at time at — the latest cap
+// event at or before it — and whether any cap event applies by then.
+func (t *Trace) CapAt(at time.Duration) (int, bool) {
+	cap, ok := 0, false
+	for _, c := range t.CapEvents {
+		if c.At > at {
+			break
+		}
+		cap, ok = c.GPUs, true
+	}
+	return cap, ok
 }
 
 // CountAt returns the cumulative availability of (zone, gpu) at time at.
@@ -112,6 +151,54 @@ func (t *Trace) Sample(z core.Zone, g core.GPUType, step time.Duration) []Point 
 type Point struct {
 	At    time.Duration
 	Count int
+}
+
+// PeakGPUs returns the maximum total GPU availability the trace ever
+// reaches, scanning event boundaries with the same stepwise clamping as
+// CountAt. Overlays and replay harnesses use it to derive trace-intrinsic
+// scales (e.g. an autoscaling cap as a fraction of peak capacity).
+func (t *Trace) PeakGPUs() int {
+	type cell struct {
+		z core.Zone
+		g core.GPUType
+	}
+	level := map[cell]int{}
+	total, peak := 0, 0
+	for i := 0; i < len(t.Events); {
+		at := t.Events[i].At
+		for ; i < len(t.Events) && t.Events[i].At == at; i++ {
+			e := t.Events[i]
+			c := cell{e.Zone, e.GPU}
+			n := level[c] + e.Delta
+			if n < 0 {
+				n = 0
+			}
+			total += n - level[c]
+			level[c] = n
+		}
+		// Sample at timestamp boundaries only, so a transient within one
+		// instant (a +N immediately cancelled by a -N at the same At) does
+		// not register as capacity the replay views never see.
+		if total > peak {
+			peak = total
+		}
+	}
+	return peak
+}
+
+// GPUTypes returns the distinct GPU types the trace's events mention, in
+// sorted order — the profiling set a replay of an external trace needs.
+func (t *Trace) GPUTypes() []core.GPUType {
+	seen := map[core.GPUType]bool{}
+	var out []core.GPUType
+	for _, e := range t.Events {
+		if !seen[e.GPU] {
+			seen[e.GPU] = true
+			out = append(out, e.GPU)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // GCPA100Trace generates a Figure-2-shaped trace: two zones, 8 A100s

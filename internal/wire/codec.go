@@ -16,6 +16,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/runtime"
+	"repro/internal/trace"
 )
 
 // Envelope kinds.
@@ -27,6 +28,11 @@ const (
 	KindEstimate    = "estimate"
 	KindPlanResult  = "plan-result"
 	KindReport      = "report"
+	// KindTrace is the envelope kind of external trace files. The codec
+	// lives in internal/trace (wire imports trace, so it cannot live here);
+	// MarshalTrace/UnmarshalTrace delegate, and a lockstep test pins
+	// trace.FileVersion == Version so the two surfaces version together.
+	KindTrace = "trace"
 )
 
 // Envelope wraps every standalone wire document.
@@ -136,6 +142,14 @@ func UnmarshalPlanResult(data []byte) (planner.Result, error) {
 	}
 	return r.Result(), nil
 }
+
+// MarshalTrace encodes an external availability trace as a canonical
+// versioned document (see trace.Save).
+func MarshalTrace(f *trace.File) ([]byte, error) { return trace.Save(f) }
+
+// UnmarshalTrace decodes a versioned trace document, rejecting unknown
+// schema versions and kinds by name (see trace.Load).
+func UnmarshalTrace(data []byte) (*trace.File, error) { return trace.Load(data) }
 
 // MarshalReport encodes an elastic-run report as a versioned document.
 func MarshalReport(r runtime.Report) ([]byte, error) { return marshal(KindReport, FromReport(r)) }

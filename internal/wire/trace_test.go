@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestTraceVersionLockstep pins the trace-file schema version to the wire
+// schema version. The trace codec lives in internal/trace (wire imports
+// trace), but it speaks the same envelope dialect — if one version moves
+// without the other, external trace files and service documents would
+// diverge silently.
+func TestTraceVersionLockstep(t *testing.T) {
+	if trace.FileVersion != Version {
+		t.Fatalf("trace.FileVersion = %d, wire.Version = %d; the envelope dialects must version together",
+			trace.FileVersion, Version)
+	}
+}
+
+// TestTraceRoundTrip checks the delegating wrappers: MarshalTrace emits a
+// canonical envelope document and UnmarshalTrace reproduces the file.
+func TestTraceRoundTrip(t *testing.T) {
+	z := core.Zone{Region: "us-central1", Name: "us-central1-a"}
+	f := &trace.File{
+		Name:        "wire-round-trip",
+		Description: "wrapper delegation check",
+		Trace: trace.Synthetic(2*time.Hour,
+			trace.Event{At: 0, Zone: z, GPU: core.A100, Delta: 4},
+			trace.Event{At: time.Hour, Zone: z, GPU: core.A100, Delta: -2},
+		),
+	}
+	doc, err := MarshalTrace(f)
+	if err != nil {
+		t.Fatalf("MarshalTrace: %v", err)
+	}
+	if !strings.Contains(string(doc), `"kind": "trace"`) {
+		t.Fatalf("document does not carry the trace kind:\n%s", doc)
+	}
+	got, err := UnmarshalTrace(doc)
+	if err != nil {
+		t.Fatalf("UnmarshalTrace: %v", err)
+	}
+	if got.Name != f.Name || got.Description != f.Description {
+		t.Fatalf("metadata mismatch: got %q/%q", got.Name, got.Description)
+	}
+	if len(got.Trace.Events) != 2 || got.Trace.Horizon != f.Trace.Horizon {
+		t.Fatalf("trace mismatch: %+v", got.Trace)
+	}
+	doc2, err := MarshalTrace(got)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(doc) != string(doc2) {
+		t.Fatalf("canonical encoding not stable:\n%s\nvs\n%s", doc, doc2)
+	}
+}

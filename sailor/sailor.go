@@ -126,6 +126,17 @@ type (
 	Trace = trace.Trace
 	// TraceEvent is one availability change.
 	TraceEvent = trace.Event
+	// CapEvent is one demand-autoscaling directive riding a trace: at a
+	// timestamp, the fleet's per-job GPU cap moves.
+	CapEvent = trace.CapEvent
+	// TraceFile is a named external availability trace — the versioned
+	// JSON document sailor-replay -trace loads and sailor-advgen writes.
+	TraceFile = trace.File
+	// Overlay is a composable trace transformation (price spikes,
+	// correlated failures, demand autoscaling) layered with ComposeTrace.
+	Overlay = trace.Overlay
+	// CapPoint is one step of a demand-autoscaling overlay schedule.
+	CapPoint = trace.CapPoint
 	// Scenario is a named, seeded family of availability traces.
 	Scenario = trace.Scenario
 	// ScenarioOpts scales a scenario family.
@@ -251,6 +262,50 @@ func GCPA100Trace(seed int64) (*Trace, Zone, Zone) { return trace.GCPA100Trace(s
 // SyntheticTrace builds a trace from explicit events.
 func SyntheticTrace(horizon time.Duration, events ...TraceEvent) *Trace {
 	return trace.Synthetic(horizon, events...)
+}
+
+// LoadTrace decodes a versioned external trace document (see trace.Load):
+// unknown schema versions and kinds are rejected by name, and the decoded
+// trace is validated and canonicalized.
+func LoadTrace(data []byte) (*TraceFile, error) { return trace.Load(data) }
+
+// LoadTraceCSV imports a CSV availability log and canonicalizes it to the
+// same shape LoadTrace produces (see trace.LoadCSV for the layout).
+func LoadTraceCSV(data []byte) (*TraceFile, error) { return trace.LoadCSV(data) }
+
+// SaveTrace encodes a trace file as a canonical versioned JSON document —
+// equal files marshal to identical bytes.
+func SaveTrace(f *TraceFile) ([]byte, error) { return trace.Save(f) }
+
+// ComposeTrace layers overlays over a base trace, left to right, preserving
+// the sorted/clamped replay invariants. The base is never mutated.
+func ComposeTrace(base *Trace, overlays ...Overlay) *Trace {
+	return trace.Compose(base, overlays...)
+}
+
+// OverlayPriceSpike squeezes every availability series by `severity` for
+// the [start, end] horizon-fraction window, levelling back afterwards.
+func OverlayPriceSpike(start, end, severity float64) Overlay {
+	return trace.PriceSpike(start, end, severity)
+}
+
+// OverlayCorrelatedFailure blacks out the named zones (all zones when none
+// are named) for `dur` of the horizon starting at the `at` fraction.
+func OverlayCorrelatedFailure(at, dur float64, zones ...Zone) Overlay {
+	return trace.CorrelatedFailure(at, dur, zones...)
+}
+
+// OverlayDemandAutoscale turns a cap schedule (fractions of the trace's
+// peak availability) into CapEvents the fleet replay applies through
+// Ledger.SetJobCap.
+func OverlayDemandAutoscale(points ...CapPoint) Overlay {
+	return trace.DemandAutoscale(points...)
+}
+
+// ComposedScenario wraps a base scenario with overlays as a new named
+// scenario ("<base>+<overlay>+..."), still a pure function of (seed, opts).
+func ComposedScenario(base Scenario, overlays ...Overlay) Scenario {
+	return trace.ComposedScenario(base, overlays...)
 }
 
 // Scenarios lists every registered availability scenario, sorted by name.

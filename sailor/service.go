@@ -467,6 +467,22 @@ func (s *Service) SetFleet(capacity *Pool, jobCapGPUs int) error {
 	return nil
 }
 
+// SetFleetLedger installs (or replaces) a caller-built capacity ledger —
+// SetFleet for embedders that need to keep the handle, e.g. to move the
+// per-job cap mid-replay with Ledger.SetJobCap (demand autoscaling) or to
+// drive the ledger directly in a test harness. The same replacement
+// semantics as SetFleet apply: every lease is dropped, open jobs keep
+// their warm caches and last plans.
+func (s *Service) SetFleetLedger(led *Ledger) error {
+	if led == nil {
+		return fmt.Errorf("sailor: nil fleet ledger")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fleet = led
+	return nil
+}
+
 // FleetEvent implements API: apply one availability event to the fleet and
 // report the leases it broke, in admission order.
 func (s *Service) FleetEvent(ev TraceEvent) ([]LeaseInfo, error) {
