@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "planner search parallelism (goroutines; in-process mode)")
 	server := fs.String("server", "", "drive a sailor-serve daemon at host:port instead of planning in-process")
 	job := fs.String("job", "sailor-plan", "job name to open on the service")
+	keep := fs.Bool("keep", false, "leave the job open on the daemon after planning (durable/recovery workflows)")
 	jsonOut := fs.Bool("json", false, "emit the versioned wire-schema JSON document instead of text")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -128,8 +129,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	// Release the job name so repeated invocations against a long-lived
-	// daemon don't collide on "already open".
-	defer api.CloseJob(*job)
+	// daemon don't collide on "already open" — unless -keep asked for the
+	// job to outlive this invocation (e.g. to survive a daemon restart and
+	// prove durable recovery: a second open of the same name must fail).
+	if !*keep {
+		defer api.CloseJob(*job)
+	}
 	res, err := api.Plan(context.Background(), *job, pool, obj, cons)
 	if err != nil {
 		return err

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/sailor"
+)
+
+// TestServeDurableRestart drives the full durable lifecycle through start()
+// exactly as main wires it: a fleet daemon journals its mutations, "crashes"
+// (the listener dies but no final snapshot is written — the kill -9 shape),
+// and a restart on the same data dir recovers the jobs, leases, and exact
+// ledger version, refusing to re-open a recovered job name. A second,
+// graceful restart then replays zero records.
+func TestServeDurableRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	boot := func(tail ...string) *daemon {
+		t.Helper()
+		args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+			"-data-dir", dir, "-fsync", "none"}, tail...)
+		var banner strings.Builder
+		d, err := start(args, &banner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	// Incarnation 1: fresh dir, fleet from flags, two jobs admitted.
+	d1 := boot("-fleet", "us-central1-a:A100-40:16", "-fleet-cap", "8")
+	c, err := sailor.Dial(d1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OpenJob("hi", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OpenJob("lo", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rebalance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fs1, err := c.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Crash: stop the listener only. The journal keeps every record; no
+	// final snapshot is rotated — the same disk shape kill -9 leaves.
+	d1.srv.Close()
+
+	// Incarnation 2: recover. Flags carry no fleet — the recovered state
+	// must win and carry the ledger at its exact version.
+	d2 := boot()
+	c2, err := sailor.Dial(d2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovery == nil {
+		t.Fatal("Stats.Recovery = nil after a recovery")
+	}
+	if st.Recovery.JobsRestored != 2 || st.Recovery.RecordsReplayed == 0 {
+		t.Errorf("recovery stats = %+v, want 2 jobs from a journal replay", st.Recovery)
+	}
+	if st.JobsOpen != 2 {
+		t.Errorf("JobsOpen = %d, want 2 recovered", st.JobsOpen)
+	}
+	fs2, err := c2.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.Version != fs1.Version {
+		t.Errorf("recovered ledger version = %d, want %d", fs2.Version, fs1.Version)
+	}
+	if len(fs2.Leases) != len(fs1.Leases) || fs2.JobCapGPUs != fs1.JobCapGPUs {
+		t.Errorf("recovered fleet = %+v, want %+v", fs2, fs1)
+	}
+	// A recovered job is really open: its name is taken.
+	if err := c2.OpenJob("hi", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 2); err == nil ||
+		!strings.Contains(err.Error(), "already open") {
+		t.Errorf("re-open of recovered job = %v, want already-open", err)
+	}
+	// The recovered service keeps planning: a new tenant joins the fleet.
+	if err := c2.OpenJob("new", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Rebalance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	// Graceful shutdown: drains and rotates a final snapshot.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 3: a clean restart replays zero records.
+	d3 := boot()
+	defer d3.Close()
+	c3, err := sailor.Dial(d3.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	st3, err := c3.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Recovery == nil || st3.Recovery.RecordsReplayed != 0 {
+		t.Errorf("clean restart recovery = %+v, want zero records replayed", st3.Recovery)
+	}
+	if st3.JobsOpen != 3 {
+		t.Errorf("JobsOpen after clean restart = %d, want 3", st3.JobsOpen)
+	}
+}
+
+// TestServeDurableFlagValidation: -fsync without -data-dir and a bad policy
+// name fail loudly at start.
+func TestServeDurableFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if _, err := start([]string{"-fsync", "none"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-data-dir") {
+		t.Errorf("-fsync without -data-dir = %v", err)
+	}
+	dir := t.TempDir()
+	if _, err := start([]string{"-data-dir", dir, "-fsync", "sometimes"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "sometimes") {
+		t.Errorf("bad fsync policy = %v", err)
+	}
+}

@@ -9,6 +9,7 @@
 //	sailor-serve                              # listen on 127.0.0.1:7477
 //	sailor-serve -addr :7477 -max-concurrent 8 -cache 32
 //	sailor-serve -fleet us-central1-a:A100-40:64 -fleet-cap 16   # fleet mode
+//	sailor-serve -data-dir /var/lib/sailor    # durable: survive kill -9
 //	sailor-plan -server 127.0.0.1:7477 -model opt350m -quota zone:A100-40:16
 //
 // With -fleet the daemon arbitrates one shared capacity ledger across all
@@ -16,8 +17,19 @@
 // optional -fleet-cap fair-share bound), availability events and rebalances
 // arrive over the wire, and FleetStats exposes the per-job lease table.
 //
+// With -data-dir the daemon is durable: every state mutation is journaled
+// (fsync policy via -fsync), and on restart the service recovers its open
+// jobs, last plans, and fleet ledger — at the exact ledger version — from
+// the latest snapshot plus the journal's intact suffix, then continues
+// planning bit-identically to an uninterrupted run. When the dir holds a
+// previous incarnation's state, that state wins over the -fleet/-fleet-cap
+// flags (which describe the first boot). Without -data-dir the daemon is
+// pure in-memory, exactly as before.
+//
 // Shutdown is graceful: SIGINT/SIGTERM drains in-flight requests before
-// the process exits; queued client calls fail with a typed error.
+// the process exits; queued client calls fail with a typed error. A durable
+// daemon writes a final snapshot on the way out, so a clean restart replays
+// zero journal records.
 package main
 
 import (
@@ -31,13 +43,14 @@ import (
 	"runtime"
 	"syscall"
 
+	"repro/internal/persist"
 	"repro/sailor"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sailor-serve: ")
-	srv, err := start(os.Args[1:], os.Stdout)
+	d, err := start(os.Args[1:], os.Stdout)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,12 +58,45 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("draining and shutting down")
-	srv.Close()
+	if err := d.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
-// start parses flags, binds the listener, and begins serving in the
-// background; the caller owns shutdown via the returned server's Close.
-func start(args []string, out io.Writer) (*sailor.Server, error) {
+// daemon is one running sailor-serve: the wire server, the service behind
+// it, and (in durable mode) the snapshot+journal store.
+type daemon struct {
+	srv   *sailor.Server
+	svc   *sailor.Service
+	store *persist.Store
+}
+
+// Addr returns the bound listen address.
+func (d *daemon) Addr() net.Addr { return d.srv.Addr() }
+
+// Close drains in-flight requests, then — in durable mode — rotates a final
+// snapshot so the next boot replays zero journal records. A sticky journal
+// error from the session is surfaced here.
+func (d *daemon) Close() error {
+	d.srv.Close()
+	if d.store == nil {
+		return nil
+	}
+	if err := d.store.Err(); err != nil {
+		d.store.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := d.store.Rotate(d.svc.PersistState()); err != nil {
+		d.store.Close()
+		return fmt.Errorf("final snapshot: %w", err)
+	}
+	return d.store.Close()
+}
+
+// start parses flags, recovers durable state if -data-dir names any, binds
+// the listener, and begins serving in the background; the caller owns
+// shutdown via the returned daemon's Close.
+func start(args []string, out io.Writer) (*daemon, error) {
 	fs := flag.NewFlagSet("sailor-serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7477", "listen address (host:port; use :0 for an ephemeral port)")
 	workers := fs.Int("workers", runtime.NumCPU(), "planner search parallelism per request (goroutines)")
@@ -59,6 +105,8 @@ func start(args []string, out io.Writer) (*sailor.Server, error) {
 	seed := fs.Uint64("seed", 1, "profiling seed for every system the daemon builds")
 	fleetQuota := fs.String("fleet", "", "fleet mode: shared capacity ledger over this quota (zone:gpu:count,...)")
 	fleetCap := fs.Int("fleet-cap", 0, "fleet mode: per-job lease bound in GPUs (0 = unlimited)")
+	dataDir := fs.String("data-dir", "", "durable mode: snapshot+journal state here and recover it on restart")
+	fsync := fs.String("fsync", "always", `journal flush policy: "always" (every record) or "none"`)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -76,17 +124,62 @@ func start(args []string, out io.Writer) (*sailor.Server, error) {
 		cfg.Fleet = sailor.NewLedger(pool)
 		cfg.Fleet.SetJobCap(*fleetCap)
 	}
+
+	var store *persist.Store
+	var recovered *persist.Recovered
+	if *dataDir != "" {
+		var err error
+		store, recovered, err = persist.Open(*dataDir, persist.Config{Fsync: persist.FsyncPolicy(*fsync)})
+		if err != nil {
+			return nil, fmt.Errorf("-data-dir: %w", err)
+		}
+	} else if *fsync != "always" {
+		return nil, fmt.Errorf("-fsync needs -data-dir")
+	}
+
+	svc := sailor.NewService(cfg)
+	if recovered != nil {
+		if err := svc.Restore(recovered); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("-data-dir: %w", err)
+		}
+	}
+	if store != nil {
+		// The fresh snapshot captures the (possibly restored) boot state, so
+		// the new journal always replays on top of exactly this state.
+		if err := store.Rotate(svc.PersistState()); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("-data-dir: %w", err)
+		}
+		svc.SetRecorder(store)
+	}
+
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
-	srv := sailor.NewServer(lis, sailor.NewService(cfg))
+	srv := sailor.NewServer(lis, svc)
 	go srv.Serve()
 	fmt.Fprintf(out, "listening on %s (wire schema v%d, workers=%d, max-concurrent=%d, cache=%d)\n",
 		srv.Addr(), sailor.WireVersion, *workers, *maxConcurrent, *cache)
-	if cfg.Fleet != nil {
+	if cfg.Fleet != nil && recovered == nil {
 		fmt.Fprintf(out, "fleet mode: %d GPUs shared, per-job cap %d\n",
 			cfg.Fleet.Capacity().TotalGPUs(), cfg.Fleet.JobCap())
 	}
-	return srv, nil
+	if store != nil {
+		if recovered != nil {
+			fmt.Fprintf(out, "recovered %s: snapshot gen %d + %d journal records (%d jobs, ledger v%d)\n",
+				*dataDir, recovered.SnapshotGen, recovered.RecordsReplayed,
+				len(recovered.State.Jobs), recovered.LedgerVersion)
+			if recovered.TailBytesDropped > 0 {
+				log.Printf("dropped %d torn journal tail bytes", recovered.TailBytesDropped)
+			}
+		} else {
+			fmt.Fprintf(out, "durable: journaling to %s (fsync=%s)\n", *dataDir, *fsync)
+		}
+	}
+	return &daemon{srv: srv, svc: svc, store: store}, nil
 }

@@ -39,6 +39,76 @@ import (
 // ledger moved before the grant. Callers retry against a fresh view.
 var ErrConflict = errors.New("fleet: lease conflicts with current free capacity")
 
+// OpKind classifies a ledger mutation for observers.
+type OpKind int
+
+const (
+	// OpInstall is a lease grant or replacement (Acquire/Resize/Install).
+	OpInstall OpKind = iota
+	// OpRelease is a lease drop (Release/ReleaseIf). Evictions driven by
+	// OpApply and OpSetCap are not separate ops: they are deterministic
+	// consequences of replaying those ops against the same ledger state.
+	OpRelease
+	// OpApply is one availability event mutating fleet capacity.
+	OpApply
+	// OpSetCap is a per-job GPU cap change.
+	OpSetCap
+)
+
+// String names the op kind (journal records carry these names).
+func (k OpKind) String() string {
+	switch k {
+	case OpInstall:
+		return "lease-install"
+	case OpRelease:
+		return "lease-release"
+	case OpApply:
+		return "fleet-event"
+	case OpSetCap:
+		return "set-cap"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op describes one committed ledger mutation: the kind, the fields that
+// replaying it needs, and the ledger version the mutation produced. Replaying
+// the same ops in Version order against a ledger restored from the preceding
+// snapshot reproduces the exact lease table and version trajectory — broken
+// leases under OpApply/OpSetCap re-derive deterministically, so they are not
+// part of the op.
+type Op struct {
+	Kind OpKind
+	// Job/Priority/Plan describe OpInstall (Job alone describes OpRelease).
+	Job      string
+	Priority int
+	Plan     core.Plan
+	// Event is the availability change of OpApply.
+	Event trace.Event
+	// JobCap is the new per-job GPU cap of OpSetCap.
+	JobCap int
+	// Version is the ledger's mutation counter after the op committed.
+	Version uint64
+}
+
+// SetObserver installs fn to be called, under the ledger lock, after every
+// version-bumping mutation commits — the hook a write-ahead journal hangs off.
+// The callback sees ops in exact version order and must not call back into
+// the ledger (it would deadlock). A nil fn removes the observer.
+func (l *Ledger) SetObserver(fn func(Op)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = fn
+}
+
+// notifyLocked emits an op to the observer; callers hold l.mu and have
+// already bumped the version.
+func (l *Ledger) notifyLocked(op Op) {
+	if l.observer != nil {
+		op.Version = l.version
+		l.observer(op)
+	}
+}
+
 // Lease is one job's hold on fleet capacity: the plan whose GPU demand the
 // ledger has reserved for it.
 type Lease struct {
@@ -68,6 +138,9 @@ type Ledger struct {
 	// the fair-share cap that keeps one max-throughput job from leasing
 	// the whole fleet and starving every other tenant.
 	jobCap int
+	// observer, when set, sees every version-bumping mutation in exact
+	// version order (see SetObserver).
+	observer func(Op)
 }
 
 // NewLedger returns a ledger whose total capacity is a deep copy of pool
@@ -144,6 +217,7 @@ func (l *Ledger) SetJobCap(n int) []Lease {
 	defer l.mu.Unlock()
 	l.version++
 	l.jobCap = n
+	l.notifyLocked(Op{Kind: OpSetCap, JobCap: n})
 	if n <= 0 {
 		return nil
 	}
@@ -241,6 +315,7 @@ func (l *Ledger) grantLocked(job string, priority int, plan core.Plan) error {
 	}
 	l.version++
 	l.leases[job] = &Lease{Job: job, Priority: priority, Plan: plan, Acquired: l.version}
+	l.notifyLocked(Op{Kind: OpInstall, Job: job, Priority: priority, Plan: plan})
 	return nil
 }
 
@@ -253,6 +328,7 @@ func (l *Ledger) Release(job string) bool {
 	}
 	l.version++
 	delete(l.leases, job)
+	l.notifyLocked(Op{Kind: OpRelease, Job: job})
 	return true
 }
 
@@ -269,6 +345,7 @@ func (l *Ledger) ReleaseIf(job string, acquired uint64) bool {
 	}
 	l.version++
 	delete(l.leases, job)
+	l.notifyLocked(Op{Kind: OpRelease, Job: job})
 	return true
 }
 
@@ -285,6 +362,7 @@ func (l *Ledger) Apply(ev trace.Event) []Lease {
 	defer l.mu.Unlock()
 	l.version++
 	l.capacity.Add(ev.Zone, ev.GPU, ev.Delta)
+	l.notifyLocked(Op{Kind: OpApply, Event: ev})
 	return l.evictLocked()
 }
 
@@ -350,6 +428,47 @@ func (l *Ledger) Snapshot() Snapshot {
 		s.Leases = append(s.Leases, *l.leases[job])
 	}
 	return s
+}
+
+// FromSnapshot rebuilds a ledger at the exact state a Snapshot captured:
+// capacity, per-job cap, the lease table with the original Acquired versions,
+// and — critically for journal replay — the mutation counter itself, so ops
+// recorded after the snapshot re-apply onto the same version trajectory. The
+// snapshot's pools are deep-copied; the safety invariant is re-validated and
+// a snapshot that violates it (a corrupted or hand-edited document) is
+// rejected rather than restored.
+func FromSnapshot(s Snapshot) (*Ledger, error) {
+	if s.Capacity == nil {
+		return nil, fmt.Errorf("fleet: snapshot has no capacity pool")
+	}
+	l := &Ledger{
+		version:  s.Version,
+		capacity: s.Capacity.Clone(),
+		leases:   make(map[string]*Lease, len(s.Leases)),
+		jobCap:   s.JobCap,
+	}
+	for _, le := range s.Leases {
+		if le.Job == "" {
+			return nil, fmt.Errorf("fleet: snapshot lease with empty job name")
+		}
+		if _, ok := l.leases[le.Job]; ok {
+			return nil, fmt.Errorf("fleet: snapshot holds two leases for job %q", le.Job)
+		}
+		if le.Acquired > s.Version {
+			return nil, fmt.Errorf("fleet: snapshot lease %q acquired at version %d, after snapshot version %d",
+				le.Job, le.Acquired, s.Version)
+		}
+		if s.JobCap > 0 && le.GPUs() > s.JobCap {
+			return nil, fmt.Errorf("fleet: snapshot lease %q holds %d GPUs over the per-job cap %d",
+				le.Job, le.GPUs(), s.JobCap)
+		}
+		cp := le
+		l.leases[le.Job] = &cp
+	}
+	if err := l.CheckInvariant(); err != nil {
+		return nil, fmt.Errorf("fleet: snapshot restore: %w", err)
+	}
+	return l, nil
 }
 
 // CheckInvariant re-derives the safety invariant — the sum of leased

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestObserverOrderAndReplay: the observer sees every version-bumping
+// mutation in exact version order, and replaying those ops onto a ledger
+// restored from a snapshot reproduces the lease table and version
+// trajectory bit for bit — the contract the persist journal is built on.
+func TestObserverOrderAndReplay(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 16))
+	base := l.Snapshot()
+
+	var ops []Op
+	l.SetObserver(func(op Op) { ops = append(ops, op) })
+
+	if _, err := l.Install("a", 2, flatPlan(zoneA, core.A100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Install("b", 1, flatPlan(zoneA, core.A100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	l.SetJobCap(8)
+	// Shrink the fleet: evicts b (lowest priority) inside the same Apply op.
+	l.Apply(trace.Event{Zone: zoneA, GPU: core.A100, Delta: -8})
+	if !l.Release("a") {
+		t.Fatal("Release(a) = false")
+	}
+	// A failed grant must emit nothing.
+	if err := l.Acquire("c", 0, flatPlan(zoneA, core.A100, 9, 4)); err == nil {
+		t.Fatal("oversized acquire must fail")
+	}
+
+	wantKinds := []OpKind{OpInstall, OpInstall, OpSetCap, OpApply, OpRelease}
+	if len(ops) != len(wantKinds) {
+		t.Fatalf("observer saw %d ops, want %d: %+v", len(ops), len(wantKinds), ops)
+	}
+	for i, op := range ops {
+		if op.Kind != wantKinds[i] {
+			t.Errorf("op %d kind = %v, want %v", i, op.Kind, wantKinds[i])
+		}
+		if op.Version != base.Version+uint64(i)+1 {
+			t.Errorf("op %d version = %d, want contiguous %d", i, op.Version, base.Version+uint64(i)+1)
+		}
+	}
+
+	// Replay the ops onto a ledger restored from the pre-mutation snapshot.
+	restored, err := FromSnapshot(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInstall:
+			if _, err := restored.Install(op.Job, op.Priority, op.Plan); err != nil {
+				t.Fatalf("replay install %q: %v", op.Job, err)
+			}
+		case OpRelease:
+			if !restored.Release(op.Job) {
+				t.Fatalf("replay release %q dropped nothing", op.Job)
+			}
+		case OpApply:
+			restored.Apply(op.Event)
+		case OpSetCap:
+			restored.SetJobCap(op.JobCap)
+		}
+		if got := restored.Version(); got != op.Version {
+			t.Fatalf("replay diverged: version %d after %v, want %d", got, op.Kind, op.Version)
+		}
+	}
+	if got, want := restored.Snapshot(), l.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed snapshot diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFromSnapshotRoundTrip: Snapshot → FromSnapshot → Snapshot is the
+// identity, including version, cap, and the Acquired version of each lease.
+func TestFromSnapshotRoundTrip(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 16).Set(zoneB, core.V100, 8))
+	l.SetJobCap(8)
+	if _, err := l.Install("a", 2, flatPlan(zoneA, core.A100, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Install("b", 1, flatPlan(zoneB, core.V100, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	want := l.Snapshot()
+	restored, err := FromSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// The restored ledger is live: the next grant gets version Version+1.
+	if _, err := restored.Install("c", 0, flatPlan(zoneA, core.A100, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Version(); got != want.Version+1 {
+		t.Errorf("post-restore version = %d, want %d", got, want.Version+1)
+	}
+}
+
+// TestFromSnapshotRejects: corrupted snapshots fail loudly by name.
+func TestFromSnapshotRejects(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 8))
+	if _, err := l.Install("a", 1, flatPlan(zoneA, core.A100, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	ok := l.Snapshot()
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+		want   string
+	}{
+		{"nil capacity", func(s *Snapshot) { s.Capacity = nil }, "no capacity"},
+		{"empty job", func(s *Snapshot) { s.Leases[0].Job = "" }, "empty job"},
+		{"duplicate lease", func(s *Snapshot) { s.Leases = append(s.Leases, s.Leases[0]) }, "two leases"},
+		{"future acquire", func(s *Snapshot) { s.Leases[0].Acquired = s.Version + 1 }, "after snapshot version"},
+		{"over cap", func(s *Snapshot) { s.JobCap = 1 }, "over the per-job cap"},
+		{"over capacity", func(s *Snapshot) { s.Capacity = cluster.NewPool().Set(zoneA, core.A100, 1) }, "invariant"},
+	}
+	for _, tc := range cases {
+		s := ok
+		s.Leases = append([]Lease(nil), ok.Leases...)
+		tc.mutate(&s)
+		if _, err := FromSnapshot(s); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

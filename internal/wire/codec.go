@@ -33,6 +33,13 @@ const (
 	// MarshalTrace/UnmarshalTrace delegate, and a lockstep test pins
 	// trace.FileVersion == Version so the two surfaces version together.
 	KindTrace = "trace"
+	// KindSnapshot and KindJournal are the envelope kinds of the durability
+	// subsystem: service-state snapshots and journal records on disk. The
+	// codecs live in internal/persist (which imports wire); a lockstep test
+	// there pins persist.FormatVersion == Version so a wire schema bump can
+	// never leave stale snapshots silently decodable.
+	KindSnapshot = "snapshot"
+	KindJournal  = "journal"
 )
 
 // Envelope wraps every standalone wire document.

@@ -125,6 +125,27 @@ type ServiceStats struct {
 	SystemsCached     int    `json:"systems_cached"`
 	SystemCacheHits   uint64 `json:"system_cache_hits"`
 	SystemCacheMisses uint64 `json:"system_cache_misses"`
+	// Recovery reports how the service was restored from a durable data
+	// dir; nil for a service that started fresh (so pre-durability stats
+	// encodings are byte-unchanged).
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+}
+
+// RecoveryStats is the telemetry of one snapshot+journal recovery.
+type RecoveryStats struct {
+	// SnapshotGen is the generation number of the snapshot that was loaded.
+	SnapshotGen uint64 `json:"snapshot_gen"`
+	// LedgerVersion is the fleet ledger's mutation counter after the journal
+	// suffix replayed (0 when the snapshot holds no fleet state).
+	LedgerVersion uint64 `json:"ledger_version"`
+	// JobsRestored counts the open jobs the snapshot+journal reconstructed.
+	JobsRestored int `json:"jobs_restored"`
+	// RecordsReplayed counts the journal records applied on top of the
+	// snapshot (0 after a graceful shutdown's final snapshot+rotation).
+	RecordsReplayed int `json:"records_replayed"`
+	// DurationSeconds is the wall-clock cost of the recovery (load + replay
+	// + rotation) — non-deterministic, like SearchTimeNS.
+	DurationSeconds float64 `json:"duration_seconds"`
 }
 
 // Fleet-mode messages: the shared cluster-state ledger crossing the wire.

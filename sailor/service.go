@@ -162,10 +162,12 @@ type Service struct {
 	start time.Time
 	sem   chan struct{}
 
-	mu      sync.Mutex
-	jobs    map[string]*serviceJob
-	systems *systemLRU
-	fleet   *fleet.Ledger
+	mu       sync.Mutex
+	jobs     map[string]*serviceJob
+	systems  *systemLRU
+	fleet    *fleet.Ledger
+	rec      Recorder            // mutation recorder (nil = not durable)
+	recovery *wire.RecoveryStats // set by Restore; surfaced in Stats
 
 	requests  atomic.Uint64
 	plans     atomic.Uint64
@@ -185,8 +187,15 @@ var _ API = (*Service)(nil)
 // also remembers its priority and the last deployed plan/objective, which
 // seed the warm replans Rebalance runs after the job's lease breaks.
 type serviceJob struct {
+	// sys is the job's profiled System. It is nil for a job restored from a
+	// durable snapshot until the first request touches it (jobSystem):
+	// recovery re-registers jobs instantly and profiling re-warms lazily.
 	sys  *System
 	warm *planner.WarmCache
+
+	// model is the job's declared training config — the profile key that
+	// rebuilds sys lazily after a restore.
+	model Model
 
 	// gpus is the job's declared GPU-type set: the cells of the fleet its
 	// searches may draw from (fleet views are filtered to these types) and
@@ -248,22 +257,51 @@ func (s *Service) OpenJob(job string, m Model, gpus []GPUType, priority int) err
 	if _, ok := s.jobs[job]; ok {
 		return fmt.Errorf("sailor: job %q already open", job)
 	}
+	sys, err := s.systemLocked(m, gpus)
+	if err != nil {
+		return fmt.Errorf("sailor: open job %q: %w", job, err)
+	}
+	s.jobs[job] = &serviceJob{sys: sys, warm: planner.NewWarmCache(), model: m,
+		gpus: append([]GPUType(nil), gpus...), priority: priority, lastObj: MaxThroughput}
+	if s.rec != nil {
+		s.rec.RecordOpenJob(job, m, gpus, priority)
+	}
+	return nil
+}
+
+// systemLocked returns the shared profiled System of shape (m, gpus),
+// building and caching it on miss. Callers hold s.mu.
+func (s *Service) systemLocked(m Model, gpus []GPUType) (*System, error) {
 	key := s.systemKey(m, gpus)
 	sys, ok := s.systems.get(key)
 	if ok {
 		s.sysHits.Add(1)
-	} else {
-		s.sysMisses.Add(1)
-		var err error
-		sys, err = New(m, gpus, WithSeed(s.cfg.Seed), WithWorkers(s.cfg.Workers))
-		if err != nil {
-			return fmt.Errorf("sailor: open job %q: %w", job, err)
-		}
-		s.systems.put(key, sys)
+		return sys, nil
 	}
-	s.jobs[job] = &serviceJob{sys: sys, warm: planner.NewWarmCache(),
-		gpus: append([]GPUType(nil), gpus...), priority: priority, lastObj: MaxThroughput}
-	return nil
+	s.sysMisses.Add(1)
+	sys, err := New(m, gpus, WithSeed(s.cfg.Seed), WithWorkers(s.cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	s.systems.put(key, sys)
+	return sys, nil
+}
+
+// jobSystem returns j's profiled System, building it on first use: a job
+// restored from a durable snapshot re-registers without a System, and the
+// profiling campaign re-warms lazily at the job's first request.
+func (s *Service) jobSystem(j *serviceJob) (*System, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.sys != nil {
+		return j.sys, nil
+	}
+	sys, err := s.systemLocked(j.model, j.gpus)
+	if err != nil {
+		return nil, fmt.Errorf("sailor: rebuild profiled system: %w", err)
+	}
+	j.sys = sys
+	return sys, nil
 }
 
 // CloseJob releases a named job and, in fleet mode, its lease. The job's
@@ -277,7 +315,12 @@ func (s *Service) CloseJob(job string) error {
 	}
 	delete(s.jobs, job)
 	if s.fleet != nil {
+		// In durable mode the release journals first (through the ledger
+		// observer), so replay sees the lease drop before the close.
 		s.fleet.Release(job)
+	}
+	if s.rec != nil {
+		s.rec.RecordCloseJob(job)
 	}
 	return nil
 }
@@ -333,11 +376,14 @@ func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objectiv
 	if led := s.ledger(); led != nil {
 		return s.planFleet(ctx, job, j, led, Plan{}, false, obj, cons)
 	}
-	sys := j.sys
+	sys, err := s.jobSystem(j)
+	if err != nil {
+		return PlanResult{}, err
+	}
 	pl := planner.New(sys.Model, sys.simulator, sys.plannerOpts(obj, cons, sys.workerCount()))
 	res, err = pl.PlanContext(ctx, pool)
 	if err == nil {
-		s.recordPlan(j, res.Plan, obj, cons)
+		s.recordPlan(job, j, res.Plan, obj, cons)
 	}
 	return res, err
 }
@@ -359,22 +405,30 @@ func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool,
 	if led := s.ledger(); led != nil {
 		return s.planFleet(ctx, job, j, led, prev, true, obj, cons)
 	}
-	sys := j.sys
+	sys, err := s.jobSystem(j)
+	if err != nil {
+		return PlanResult{}, err
+	}
 	opts := sys.plannerOpts(obj, cons, sys.workerCount())
 	opts.Warm = j.warm
 	pl := planner.New(sys.Model, sys.simulator, opts)
 	res, err = pl.ReplanContext(ctx, prev, pool)
 	if err == nil {
-		s.recordPlan(j, res.Plan, obj, cons)
+		s.recordPlan(job, j, res.Plan, obj, cons)
 	}
 	return res, err
 }
 
 // recordPlan remembers a job's last successful request — the seed of the
-// warm replans Rebalance issues on its behalf.
-func (s *Service) recordPlan(j *serviceJob, plan Plan, obj Objective, cons Constraints) {
+// warm replans Rebalance issues on its behalf. The journal record is only
+// emitted while the job is still this open incarnation: a tenant closing
+// the job mid-request must not leave a plan record for a closed job.
+func (s *Service) recordPlan(name string, j *serviceJob, plan Plan, obj Objective, cons Constraints) {
 	s.mu.Lock()
 	j.lastPlan, j.lastObj, j.lastCons = plan, obj, cons
+	if s.rec != nil && s.jobs[name] == j {
+		s.rec.RecordJobPlan(name, plan, obj, cons)
+	}
 	s.mu.Unlock()
 }
 
@@ -411,7 +465,10 @@ func (s *Service) planFleet(ctx context.Context, name string, j *serviceJob, led
 // pure function of the job's own-type cells — the independence property the
 // partitioned rebalance relies on.
 func (s *Service) searchFleet(ctx context.Context, name string, j *serviceJob, led *fleet.Ledger, prev Plan, warm bool, obj Objective, cons Constraints) (PlanResult, error) {
-	sys := j.sys
+	sys, err := s.jobSystem(j)
+	if err != nil {
+		return PlanResult{}, err
+	}
 	view := led.ViewForTypes(name, j.gpus)
 	if view.TotalGPUs() == 0 {
 		return PlanResult{}, fmt.Errorf("sailor: fleet has no free capacity for job %q", name)
@@ -446,6 +503,9 @@ func (s *Service) commitFleet(name string, j *serviceJob, led *fleet.Ledger, res
 	open := s.jobs[name] == j
 	if open {
 		j.lastPlan, j.lastObj, j.lastCons = res.Plan, obj, cons
+		if s.rec != nil {
+			s.rec.RecordJobPlan(name, res.Plan, obj, cons)
+		}
 	}
 	s.mu.Unlock()
 	if !open {
@@ -463,8 +523,20 @@ func (s *Service) SetFleet(capacity *Pool, jobCapGPUs int) error {
 	led.SetJobCap(jobCapGPUs)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.fleet = led
+	s.installFleetLocked(led)
 	return nil
+}
+
+// installFleetLocked makes led the service's ledger and, in durable mode,
+// journals its full post-install state before attaching the op observer —
+// so the initial cap is not double-journaled and every later mutation is.
+// Callers hold s.mu.
+func (s *Service) installFleetLocked(led *fleet.Ledger) {
+	s.fleet = led
+	if s.rec != nil {
+		s.rec.RecordSetFleet(led.Snapshot())
+		led.SetObserver(s.rec.RecordLedgerOp)
+	}
 }
 
 // SetFleetLedger installs (or replaces) a caller-built capacity ledger —
@@ -479,7 +551,7 @@ func (s *Service) SetFleetLedger(led *Ledger) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.fleet = led
+	s.installFleetLocked(led)
 	return nil
 }
 
@@ -741,7 +813,11 @@ func (s *Service) Simulate(job string, plan Plan) (est Estimate, err error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	return j.sys.simulator.Estimate(plan)
+	sys, err := s.jobSystem(j)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return sys.simulator.Estimate(plan)
 }
 
 // Stats implements API with a consistent snapshot of the counters.
@@ -749,6 +825,7 @@ func (s *Service) Stats() (ServiceStats, error) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
 	cached := s.systems.len()
+	recovery := s.recovery
 	s.mu.Unlock()
 	uptime := time.Since(s.start).Seconds()
 	reqs := s.requests.Load()
@@ -769,6 +846,7 @@ func (s *Service) Stats() (ServiceStats, error) {
 		SystemsCached:     cached,
 		SystemCacheHits:   s.sysHits.Load(),
 		SystemCacheMisses: s.sysMisses.Load(),
+		Recovery:          recovery,
 	}, nil
 }
 
