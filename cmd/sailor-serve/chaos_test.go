@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/sailor"
+)
+
+// TestServeChaosJournalFault boots the daemon with the committed smoke
+// schedule armed against its own journal: the first append is delayed, the
+// second is torn and failed. The sticky error must surface in the daemon
+// log the moment it happens, in Stats over the wire, and in Close; the
+// fault log lands where -chaos-log points.
+func TestServeChaosJournalFault(t *testing.T) {
+	var logs bytes.Buffer
+	log.SetOutput(&logs)
+	defer log.SetOutput(os.Stderr)
+
+	dir := t.TempDir()
+	faultLog := filepath.Join(dir, "faultlog.json")
+	var banner strings.Builder
+	srv, err := start([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+		"-data-dir", filepath.Join(dir, "state"), "-fsync", "none",
+		"-chaos", "testdata/chaos-smoke.schedule.json", "-chaos-log", faultLog}, &banner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(banner.String(), `chaos: schedule "smoke-journal" armed (2 faults, seed 7)`) {
+		t.Errorf("start banner = %q", banner.String())
+	}
+
+	c, err := sailor.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Append 1 (delayed, succeeds): the journal is still healthy.
+	if err := c.OpenJob("a", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JournalError != "" {
+		t.Fatalf("healthy journal reports error %q", st.JournalError)
+	}
+
+	// Append 2 (torn and failed): the error is sticky and observable
+	// everywhere — daemon log, remote Stats, and eventually Close.
+	if err := c.OpenJob("b", sailor.OPT350M(), []sailor.GPUType{sailor.A100}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.JournalError, "smoke-fail") {
+		t.Errorf("Stats.JournalError = %q, want the smoke-fail rule", st.JournalError)
+	}
+	if !strings.Contains(logs.String(), "journal unhealthy") {
+		t.Errorf("daemon log = %q, want immediate journal-unhealthy line", logs.String())
+	}
+
+	if err := srv.Close(); err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Errorf("Close = %v, want the sticky journal error", err)
+	}
+	doc, err := os.ReadFile(faultLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"smoke-delay"`, `"delayed 1ms"`, `"smoke-fail"`, `"fail after 5 bytes"`} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("fault log missing %s:\n%s", want, doc)
+		}
+	}
+}
+
+// TestStartChaosFlags: chaos flag validation fails loudly.
+func TestStartChaosFlags(t *testing.T) {
+	var out strings.Builder
+	if _, err := start([]string{"-chaos-log", "x.json"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-chaos-log needs -chaos") {
+		t.Errorf("-chaos-log alone = %v, want needs -chaos", err)
+	}
+	if _, err := start([]string{"-chaos", "testdata/no-such-file.json"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-chaos") {
+		t.Errorf("missing schedule = %v, want -chaos error", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"v":1,"kind":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := start([]string{"-chaos", bad}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-chaos") {
+		t.Errorf("bad schedule = %v, want -chaos error", err)
+	}
+}

@@ -26,6 +26,19 @@
 // flags (which describe the first boot). Without -data-dir the daemon is
 // pure in-memory, exactly as before.
 //
+// Overload: at most -max-concurrent planner searches run at once; up to
+// -max-queue more wait their turn, and anything beyond that is shed with a
+// typed overloaded error the client retry policy backs off on. A request
+// whose deadline expires mid-search degrades to the job's warm incumbent
+// plan (marked degraded in the response) instead of failing.
+//
+// Chaos (testing only): -chaos arms a fault-schedule file (see
+// internal/chaos) against the daemon's own listener and journal —
+// connection cuts, delays, refused accepts, failed appends — and
+// -chaos-log writes the deterministic fault log on shutdown. The first
+// sticky journal error is logged the moment it happens and surfaces in
+// Stats as journal_error.
+//
 // Shutdown is graceful: SIGINT/SIGTERM drains in-flight requests before
 // the process exits; queued client calls fail with a typed error. A durable
 // daemon writes a final snapshot on the way out, so a clean restart replays
@@ -41,8 +54,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/model"
 	"repro/internal/persist"
 	"repro/sailor"
 )
@@ -66,19 +84,31 @@ func main() {
 // daemon is one running sailor-serve: the wire server, the service behind
 // it, and (in durable mode) the snapshot+journal store.
 type daemon struct {
-	srv   *sailor.Server
-	svc   *sailor.Service
-	store *persist.Store
+	srv      *sailor.Server
+	svc      *sailor.Service
+	store    *persist.Store
+	inj      *chaos.Injector
+	chaosLog string
 }
 
 // Addr returns the bound listen address.
 func (d *daemon) Addr() net.Addr { return d.srv.Addr() }
 
-// Close drains in-flight requests, then — in durable mode — rotates a final
-// snapshot so the next boot replays zero journal records. A sticky journal
-// error from the session is surfaced here.
+// Close drains in-flight requests, writes the chaos fault log if one was
+// requested, then — in durable mode — rotates a final snapshot so the next
+// boot replays zero journal records. A sticky journal error from the
+// session is surfaced here.
 func (d *daemon) Close() error {
 	d.srv.Close()
+	if d.chaosLog != "" {
+		doc, err := d.inj.MarshalLog()
+		if err == nil {
+			err = os.WriteFile(d.chaosLog, doc, 0o644)
+		}
+		if err != nil {
+			log.Printf("chaos log: %v", err)
+		}
+	}
 	if d.store == nil {
 		return nil
 	}
@@ -91,6 +121,46 @@ func (d *daemon) Close() error {
 		return fmt.Errorf("final snapshot: %w", err)
 	}
 	return d.store.Close()
+}
+
+// journalHealth interposes on the durable recorder to log the journal's
+// first sticky append error the moment it happens — not just at shutdown —
+// so silent durability loss is visible in the daemon log. Stats exposes the
+// same condition to remote clients via its Err passthrough.
+type journalHealth struct {
+	*persist.Store
+	logged atomic.Bool
+}
+
+func (h *journalHealth) check() {
+	if err := h.Store.Err(); err != nil && !h.logged.Swap(true) {
+		log.Printf("journal unhealthy, writes are no longer durable: %v", err)
+	}
+}
+
+func (h *journalHealth) RecordOpenJob(job string, m model.Config, gpus []core.GPUType, priority int) {
+	h.Store.RecordOpenJob(job, m, gpus, priority)
+	h.check()
+}
+
+func (h *journalHealth) RecordCloseJob(job string) {
+	h.Store.RecordCloseJob(job)
+	h.check()
+}
+
+func (h *journalHealth) RecordJobPlan(job string, plan core.Plan, obj core.Objective, cons core.Constraints) {
+	h.Store.RecordJobPlan(job, plan, obj, cons)
+	h.check()
+}
+
+func (h *journalHealth) RecordSetFleet(snap fleet.Snapshot) {
+	h.Store.RecordSetFleet(snap)
+	h.check()
+}
+
+func (h *journalHealth) RecordLedgerOp(op fleet.Op) {
+	h.Store.RecordLedgerOp(op)
+	h.check()
 }
 
 // start parses flags, recovers durable state if -data-dir names any, binds
@@ -107,6 +177,9 @@ func start(args []string, out io.Writer) (*daemon, error) {
 	fleetCap := fs.Int("fleet-cap", 0, "fleet mode: per-job lease bound in GPUs (0 = unlimited)")
 	dataDir := fs.String("data-dir", "", "durable mode: snapshot+journal state here and recover it on restart")
 	fsync := fs.String("fsync", "always", `journal flush policy: "always" (every record) or "none"`)
+	maxQueue := fs.Int("max-queue", 0, "planner requests queued beyond max-concurrent before shedding with overloaded (0 = 8x max-concurrent, -1 = unbounded)")
+	chaosFile := fs.String("chaos", "", "chaos mode: arm this fault-schedule file against the listener and journal (testing only)")
+	chaosLog := fs.String("chaos-log", "", "chaos mode: write the fault log here on shutdown (needs -chaos)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -115,6 +188,24 @@ func start(args []string, out io.Writer) (*daemon, error) {
 		MaxConcurrent:   *maxConcurrent,
 		SystemCacheSize: *cache,
 		Seed:            *seed,
+		MaxQueued:       *maxQueue,
+	}
+
+	var inj *chaos.Injector
+	var sched *chaos.Schedule
+	if *chaosFile != "" {
+		doc, err := os.ReadFile(*chaosFile)
+		if err != nil {
+			return nil, fmt.Errorf("-chaos: %w", err)
+		}
+		if sched, err = chaos.Unmarshal(doc); err != nil {
+			return nil, fmt.Errorf("-chaos: %w", err)
+		}
+		if inj, err = chaos.NewInjector(sched); err != nil {
+			return nil, fmt.Errorf("-chaos: %w", err)
+		}
+	} else if *chaosLog != "" {
+		return nil, fmt.Errorf("-chaos-log needs -chaos")
 	}
 	if *fleetQuota != "" {
 		pool, _, err := sailor.ParseQuota(*fleetQuota)
@@ -128,8 +219,12 @@ func start(args []string, out io.Writer) (*daemon, error) {
 	var store *persist.Store
 	var recovered *persist.Recovered
 	if *dataDir != "" {
+		pcfg := persist.Config{Fsync: persist.FsyncPolicy(*fsync)}
+		if inj != nil {
+			pcfg.WrapJournal = inj.WrapJournal
+		}
 		var err error
-		store, recovered, err = persist.Open(*dataDir, persist.Config{Fsync: persist.FsyncPolicy(*fsync)})
+		store, recovered, err = persist.Open(*dataDir, pcfg)
 		if err != nil {
 			return nil, fmt.Errorf("-data-dir: %w", err)
 		}
@@ -151,7 +246,7 @@ func start(args []string, out io.Writer) (*daemon, error) {
 			store.Close()
 			return nil, fmt.Errorf("-data-dir: %w", err)
 		}
-		svc.SetRecorder(store)
+		svc.SetRecorder(&journalHealth{Store: store})
 	}
 
 	lis, err := net.Listen("tcp", *addr)
@@ -160,6 +255,9 @@ func start(args []string, out io.Writer) (*daemon, error) {
 			store.Close()
 		}
 		return nil, err
+	}
+	if inj != nil {
+		lis = inj.WrapListener(lis)
 	}
 	srv := sailor.NewServer(lis, svc)
 	go srv.Serve()
@@ -181,5 +279,9 @@ func start(args []string, out io.Writer) (*daemon, error) {
 			fmt.Fprintf(out, "durable: journaling to %s (fsync=%s)\n", *dataDir, *fsync)
 		}
 	}
-	return &daemon{srv: srv, svc: svc, store: store}, nil
+	if inj != nil {
+		fmt.Fprintf(out, "chaos: schedule %q armed (%d faults, seed %d)\n",
+			sched.Name, len(sched.Faults), sched.Seed)
+	}
+	return &daemon{srv: srv, svc: svc, store: store, inj: inj, chaosLog: *chaosLog}, nil
 }

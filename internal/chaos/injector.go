@@ -1,0 +1,318 @@
+package chaos
+
+// The Injector: one counting, matching, logging core shared by every
+// wrapper it hands out. All operation counters advance under one mutex in
+// the order the wrapped I/O happens, every firing draws its randomness
+// (random offsets, random delays) from the injector's single seeded
+// source, and every firing appends one Event to the fault log — so a
+// deterministic workload over a given schedule produces a byte-identical
+// MarshalLog, the replayability the chaos e2e pins.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Event is one fault firing, in firing order. It carries no wall-clock
+// fields, so logs compare byte-for-byte across runs and worker counts.
+type Event struct {
+	// Seq numbers firings from 1.
+	Seq int `json:"seq"`
+	// Rule is the fault's ID in the schedule.
+	Rule string `json:"rule"`
+	// Action, Target, Side, Conn, Op locate the firing (Rule's coordinates).
+	Action string `json:"action"`
+	Target string `json:"target"`
+	Side   string `json:"side,omitempty"`
+	Conn   int    `json:"conn,omitempty"`
+	Op     string `json:"op,omitempty"`
+	// N is the operation index (1-based) that fired.
+	N int `json:"n"`
+	// Detail describes the outcome, e.g. "cut after 5 bytes".
+	Detail string `json:"detail,omitempty"`
+}
+
+// Counters is a snapshot of the injector's operation counts — harnesses
+// read these between phases to compute the Nth indices of a schedule.
+type Counters struct {
+	// ClientConns counts connections handed to WrapConn.
+	ClientConns int `json:"client_conns"`
+	// Accepts counts listener accepts, refused ones included.
+	Accepts int `json:"accepts"`
+	// Appends and Syncs count journal operations across all generations.
+	Appends int `json:"appends"`
+	Syncs   int `json:"syncs"`
+}
+
+// Injector arms a schedule over the I/O seams it is asked to wrap. A nil
+// schedule yields a pure pass-through that still counts operations, which
+// is how harnesses discover the coordinates for the schedule they build.
+// All methods are safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	faults []Rule
+	rng    *rand.Rand
+	ctr    Counters
+	log    []Event
+}
+
+// NewInjector validates and arms a schedule (nil = pass-through counter).
+func NewInjector(s *Schedule) (*Injector, error) {
+	seed := uint64(1)
+	var faults []Rule
+	if s != nil {
+		norm, err := normalize(s)
+		if err != nil {
+			return nil, err
+		}
+		faults = norm.Faults
+		if norm.Seed != 0 {
+			seed = norm.Seed
+		}
+	}
+	return &Injector{faults: faults, rng: rand.New(rand.NewSource(int64(seed)))}, nil
+}
+
+// firing is one matched rule with its randomness already resolved.
+type firing struct {
+	rule   Rule
+	offset int
+	delay  time.Duration
+}
+
+// fire advances the (target, side, conn, op) operation counter to n (the
+// caller computed n under the same lock) and matches rules in declaration
+// order. On a match it resolves offsets/delays against opLen and logs the
+// event; a miss returns nil.
+func (in *Injector) fire(target, side string, conn int, op string, n, opLen int) *firing {
+	for _, r := range in.faults {
+		if r.Target != target || r.Side != side || r.Conn != conn || r.Op != op {
+			continue
+		}
+		if n < r.Nth || n >= r.Nth+r.Count {
+			continue
+		}
+		f := &firing{rule: r}
+		detail := ""
+		switch r.Action {
+		case ActionCut, ActionFail:
+			f.offset = r.OffsetBytes
+			if f.offset == -1 {
+				f.offset = in.rng.Intn(opLen + 1)
+			}
+			if f.offset > opLen {
+				f.offset = opLen
+			}
+			// The operation's byte length stays out of the detail: reply
+			// frames carry wall-clock fields whose encoded width varies run
+			// to run, and the fault log must stay byte-identical.
+			detail = fmt.Sprintf("%s after %d bytes", r.Action, f.offset)
+		case ActionDelay:
+			ms := r.DelayMS
+			if ms == -1 {
+				ms = 1 + in.rng.Intn(10)
+			}
+			f.delay = time.Duration(ms) * time.Millisecond
+			detail = fmt.Sprintf("delayed %dms", ms)
+		case ActionRefuse:
+			detail = "accept refused"
+		}
+		in.log = append(in.log, Event{
+			Seq:    len(in.log) + 1,
+			Rule:   r.ID,
+			Action: r.Action,
+			Target: target,
+			Side:   side,
+			Conn:   conn,
+			Op:     op,
+			N:      n,
+			Detail: detail,
+		})
+		return f
+	}
+	return nil
+}
+
+// Counters snapshots the operation counts.
+func (in *Injector) Counters() Counters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ctr
+}
+
+// Log returns a copy of the fault log in firing order.
+func (in *Injector) Log() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// MarshalLog encodes the fault log deterministically (two-space indent,
+// trailing newline): same schedule + seed + workload ⇒ identical bytes.
+func (in *Injector) MarshalLog() ([]byte, error) {
+	events := in.Log()
+	if events == nil {
+		events = []Event{}
+	}
+	doc, err := json.MarshalIndent(events, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: marshal fault log: %w", err)
+	}
+	return append(doc, '\n'), nil
+}
+
+// WrapConn wraps a client-side connection; connections are numbered 1, 2,
+// ... in wrapping order, the coordinate conn rules with side "client" use.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	in.mu.Lock()
+	in.ctr.ClientConns++
+	idx := in.ctr.ClientConns
+	in.mu.Unlock()
+	return &faultConn{Conn: c, in: in, side: SideClient, idx: idx}
+}
+
+// WrapListener wraps a listener: accepts are counted (the coordinate
+// listener rules use), refused accepts are closed immediately, and every
+// surviving connection comes back wrapped with side "server" and the
+// accept index as its conn number.
+func (in *Injector) WrapListener(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, in: in}
+}
+
+// WrapJournal wraps one journal generation; its signature matches
+// persist.Config.WrapJournal so an injector plugs straight in.
+func (in *Injector) WrapJournal(gen uint64, f persist.JournalFile) persist.JournalFile {
+	return &faultJournal{f: f, in: in}
+}
+
+// faultConn counts reads and writes on one wrapped connection and fires
+// cut/delay rules at their scheduled indices.
+type faultConn struct {
+	net.Conn
+	in     *Injector
+	side   string
+	idx    int
+	reads  int
+	writes int
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.in.mu.Lock()
+	c.writes++
+	f := c.in.fire(TargetConn, c.side, c.idx, OpWrite, c.writes, len(p))
+	c.in.mu.Unlock()
+	if f == nil {
+		return c.Conn.Write(p)
+	}
+	switch f.rule.Action {
+	case ActionDelay:
+		time.Sleep(f.delay)
+		return c.Conn.Write(p)
+	default: // cut
+		n := 0
+		if f.offset > 0 {
+			n, _ = c.Conn.Write(p[:f.offset])
+		}
+		c.Conn.Close()
+		return n, fmt.Errorf("chaos: %s conn %d write cut by rule %q (%d/%d bytes)", c.side, c.idx, f.rule.ID, n, len(p))
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.in.mu.Lock()
+	c.reads++
+	f := c.in.fire(TargetConn, c.side, c.idx, OpRead, c.reads, len(p))
+	c.in.mu.Unlock()
+	if f == nil {
+		return c.Conn.Read(p)
+	}
+	switch f.rule.Action {
+	case ActionDelay:
+		time.Sleep(f.delay)
+		return c.Conn.Read(p)
+	default: // cut
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: %s conn %d read cut by rule %q", c.side, c.idx, f.rule.ID)
+	}
+}
+
+// faultListener refuses scheduled accepts and wraps the rest.
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.in.mu.Lock()
+		l.in.ctr.Accepts++
+		idx := l.in.ctr.Accepts
+		f := l.in.fire(TargetListener, "", 0, OpAccept, idx, 0)
+		l.in.mu.Unlock()
+		if f != nil { // refuse
+			c.Close()
+			continue
+		}
+		return &faultConn{Conn: c, in: l.in, side: SideServer, idx: idx}, nil
+	}
+}
+
+// faultJournal fails or delays scheduled appends and syncs; a failed
+// append with a positive offset leaves a torn frame on disk, exactly the
+// tail shape recovery must truncate.
+type faultJournal struct {
+	f  persist.JournalFile
+	in *Injector
+}
+
+func (j *faultJournal) Write(p []byte) (int, error) {
+	j.in.mu.Lock()
+	j.in.ctr.Appends++
+	f := j.in.fire(TargetJournal, "", 0, OpAppend, j.in.ctr.Appends, len(p))
+	j.in.mu.Unlock()
+	if f == nil {
+		return j.f.Write(p)
+	}
+	switch f.rule.Action {
+	case ActionDelay:
+		time.Sleep(f.delay)
+		return j.f.Write(p)
+	default: // fail
+		n := 0
+		if f.offset > 0 {
+			n, _ = j.f.Write(p[:f.offset])
+		}
+		return n, fmt.Errorf("chaos: journal append failed by rule %q (%d/%d bytes)", f.rule.ID, n, len(p))
+	}
+}
+
+func (j *faultJournal) Sync() error {
+	j.in.mu.Lock()
+	j.in.ctr.Syncs++
+	f := j.in.fire(TargetJournal, "", 0, OpSync, j.in.ctr.Syncs, 0)
+	j.in.mu.Unlock()
+	if f == nil {
+		return j.f.Sync()
+	}
+	switch f.rule.Action {
+	case ActionDelay:
+		time.Sleep(f.delay)
+		return j.f.Sync()
+	default: // fail
+		return fmt.Errorf("chaos: journal sync failed by rule %q", f.rule.ID)
+	}
+}
+
+func (j *faultJournal) Close() error { return j.f.Close() }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -77,6 +78,80 @@ func TestObserverOrderAndReplay(t *testing.T) {
 	}
 	if got, want := restored.Snapshot(), l.Snapshot(); !reflect.DeepEqual(got, want) {
 		t.Errorf("replayed snapshot diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestObserverSilentOnFailedMutations: every mutation error path leaves
+// the version untouched and emits no op. The persist journal records ops
+// verbatim, so a failed mutation leaking an op would replay a grant that
+// never happened and fork recovery from the live ledger.
+func TestObserverSilentOnFailedMutations(t *testing.T) {
+	l := NewLedger(cluster.NewPool().Set(zoneA, core.A100, 8))
+	l.SetJobCap(6)
+	acquired, err := l.Install("a", 1, flatPlan(zoneA, core.A100, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A newer grant invalidates the first token, making it stale below.
+	// a now holds 4 of 8 GPUs: 4 free, per-job cap 6.
+	if _, err := l.Install("a", 1, flatPlan(zoneA, core.A100, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	var ops []Op
+	l.SetObserver(func(op Op) { ops = append(ops, op) })
+	ver := l.Version()
+
+	fits := flatPlan(zoneA, core.A100, 1, 2)
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"acquire duplicate", func() error { return l.Acquire("a", 1, fits) }},
+		{"acquire empty job", func() error { return l.Acquire("", 1, fits) }},
+		{"acquire empty plan", func() error { return l.Acquire("b", 1, core.Plan{}) }},
+		{"acquire over job cap", func() error { return l.Acquire("b", 1, flatPlan(zoneA, core.A100, 1, 7)) }},
+		{"acquire conflict", func() error { return l.Acquire("b", 1, flatPlan(zoneA, core.A100, 1, 5)) }},
+		{"resize unheld", func() error { return l.Resize("ghost", fits) }},
+		{"install conflict", func() error { _, err := l.Install("b", 1, flatPlan(zoneA, core.A100, 1, 5)); return err }},
+		{"release unheld", func() error {
+			if l.Release("ghost") {
+				return fmt.Errorf("Release(ghost) = true")
+			}
+			return nil
+		}},
+		{"release-if stale token", func() error {
+			if l.ReleaseIf("a", acquired) {
+				return fmt.Errorf("ReleaseIf with stale token dropped the newer lease")
+			}
+			return nil
+		}},
+	}
+	for _, tc := range cases {
+		switch err := tc.call(); tc.name {
+		case "release unheld", "release-if stale token":
+			if err != nil {
+				t.Errorf("%s: %v", tc.name, err)
+			}
+		default:
+			if err == nil {
+				t.Errorf("%s: mutation succeeded, want error", tc.name)
+			}
+		}
+		if len(ops) != 0 {
+			t.Fatalf("%s: observer saw %+v, want nothing", tc.name, ops)
+		}
+		if got := l.Version(); got != ver {
+			t.Fatalf("%s: version %d, want unchanged %d", tc.name, got, ver)
+		}
+	}
+	// The ledger is still live after the gauntlet: the next grant emits
+	// exactly one op at the next contiguous version.
+	if err := l.Acquire("b", 1, fits); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Kind != OpInstall || ops[0].Version != ver+1 {
+		t.Fatalf("post-gauntlet grant ops = %+v, want one OpInstall at version %d", ops, ver+1)
 	}
 }
 

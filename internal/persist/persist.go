@@ -37,6 +37,7 @@ package persist
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -79,10 +80,23 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return "", fmt.Errorf("persist: unknown fsync policy %q (want %q or %q)", s, FsyncAlways, FsyncNone)
 }
 
+// JournalFile is the journal's view of its backing file — the subset of
+// *os.File the append path touches. Config.WrapJournal can interpose an
+// implementation between the store and the real file (internal/chaos wraps
+// it to inject short writes, torn frames, and sync failures).
+type JournalFile interface {
+	io.WriteCloser
+	Sync() error
+}
+
 // Config tunes a Store. The zero value is a working default.
 type Config struct {
 	// Fsync is the journal flush policy ("" = FsyncAlways).
 	Fsync FsyncPolicy
+	// WrapJournal, when non-nil, wraps each freshly opened journal
+	// generation before the store writes to it — the fault-injection seam.
+	// It must return a usable file; return f unchanged to pass through.
+	WrapJournal func(gen uint64, f JournalFile) JournalFile
 }
 
 // Recovered reports what Open reconstructed from a non-empty data dir.
@@ -114,11 +128,12 @@ type Recovered struct {
 type Store struct {
 	dir   string
 	fsync bool
+	wrap  func(gen uint64, f JournalFile) JournalFile
 
 	mu  sync.Mutex
 	gen uint64 // highest generation seen on disk or rotated to
 	seq uint64 // last record sequence number appended to the open journal
-	f   *os.File
+	f   JournalFile
 	err error // sticky: first append failure poisons the journal until the next Rotate
 }
 
@@ -138,7 +153,7 @@ func Open(dir string, cfg Config) (*Store, *Recovered, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
-	st := &Store{dir: dir, fsync: policy == FsyncAlways}
+	st := &Store{dir: dir, fsync: policy == FsyncAlways, wrap: cfg.WrapJournal}
 	rec, maxGen, err := recoverDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -190,7 +205,11 @@ func (st *Store) Rotate(state *State) error {
 	if err != nil {
 		return fmt.Errorf("persist: open journal: %w", err)
 	}
-	st.f = f
+	var jf JournalFile = f
+	if st.wrap != nil {
+		jf = st.wrap(gen, f)
+	}
+	st.f = jf
 	st.syncDir()
 	// The new generation is durable; drop every superseded file.
 	for _, name := range generationFiles(st.dir) {

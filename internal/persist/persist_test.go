@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -502,5 +503,99 @@ func TestRecordEncodingOmitsZeroFields(t *testing.T) {
 	}
 	if got, want := string(env.Body), `{"seq":1,"op":"close-job","job":"a"}`; got != want {
 		t.Errorf("close-job body = %s, want %s", got, want)
+	}
+}
+
+// flakyJournal fails the Nth write (1-based) after letting tear bytes
+// through, then every later write — the shape chaos injects through the
+// Config.WrapJournal seam.
+type flakyJournal struct {
+	JournalFile
+	writes int
+	failAt int
+	tear   int
+}
+
+func (f *flakyJournal) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes >= f.failAt {
+		n := 0
+		if f.tear > 0 && f.tear < len(p) && f.writes == f.failAt {
+			n, _ = f.JournalFile.Write(p[:f.tear])
+		}
+		return n, errors.New("injected append failure")
+	}
+	return f.JournalFile.Write(p)
+}
+
+// TestWrapJournalFaultWindow: a failed append through the WrapJournal seam
+// poisons the store stickily, the torn frame it left is truncated by
+// recovery (only intact records replay), and a Rotate — whose fresh
+// snapshot supersedes the broken journal — clears the poison.
+func TestWrapJournalFaultWindow(t *testing.T) {
+	dir := t.TempDir()
+	var flaky *flakyJournal
+	cfg := Config{Fsync: FsyncNone, WrapJournal: func(gen uint64, f JournalFile) JournalFile {
+		if gen == 1 {
+			flaky = &flakyJournal{JournalFile: f, failAt: 2, tear: 5}
+			return flaky
+		}
+		return f
+	}}
+	st, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rotate(&State{}); err != nil {
+		t.Fatal(err)
+	}
+	st.RecordOpenJob("alpha", testModel("alpha-m"), []core.GPUType{core.A100}, 2)
+	if err := st.Err(); err != nil {
+		t.Fatalf("healthy append poisoned the store: %v", err)
+	}
+	// Append 2 fails mid-frame: sticky error, torn bytes on disk, and the
+	// record — plus everything after it — is dropped, not misordered.
+	st.RecordOpenJob("beta", testModel("beta-m"), []core.GPUType{core.V100}, 1)
+	if err := st.Err(); err == nil || !strings.Contains(err.Error(), "injected append failure") {
+		t.Fatalf("Err() = %v, want injected append failure", err)
+	}
+	st.RecordOpenJob("gamma", testModel("gamma-m"), []core.GPUType{core.A100}, 0)
+	if flaky.writes != 2 {
+		t.Fatalf("poisoned store touched the file again: %d writes", flaky.writes)
+	}
+
+	// Crash now: recovery truncates the torn frame and replays only alpha.
+	_, rec, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || rec.RecordsReplayed != 1 || rec.TailBytesDropped != 5 {
+		t.Fatalf("recovery shape %+v, want 1 record + 5 torn bytes", rec)
+	}
+	if len(rec.State.Jobs) != 1 || rec.State.Jobs[0].Name != "alpha" {
+		t.Fatalf("recovered jobs %+v, want just alpha", rec.State.Jobs)
+	}
+
+	// The operator heal: Rotate a fresh snapshot over the live (in-memory)
+	// state; the poison clears and journaling resumes on generation 2.
+	if err := st.Rotate(rec.State); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("Rotate left the store poisoned: %v", err)
+	}
+	st.RecordOpenJob("delta", testModel("delta-m"), []core.GPUType{core.A100}, 1)
+	if err := st.Err(); err != nil {
+		t.Fatalf("append after heal failed: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2 == nil || rec2.RecordsReplayed != 1 || len(rec2.State.Jobs) != 2 {
+		t.Fatalf("post-heal recovery %+v", rec2)
 	}
 }

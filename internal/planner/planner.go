@@ -142,6 +142,11 @@ type Result struct {
 	// being re-explored; each hit also subtracts the whole subtree from
 	// Explored.
 	CacheHits int
+	// Degraded marks a result the serving layer substituted for a fresh
+	// search that was cut off by its deadline: the job's warm incumbent
+	// plan re-estimated, not a new search. Always false for results the
+	// planner itself returns.
+	Degraded bool
 }
 
 // Evaluator is the estimation backend the planner searches against: the

@@ -9,18 +9,26 @@
 // the drain with ErrServerClosed, and only then tears connections down.
 // Client calls fail with typed errors — ErrClientClosed after a local
 // Close, ErrServerClosed when the server refused the request during
-// shutdown, ErrConnectionLost when the transport died mid-call — so
-// callers can distinguish "retry elsewhere" from "stop".
+// shutdown, ErrConnectionLost when the transport died mid-call,
+// ErrOverloaded when the server shed the request — so callers can
+// distinguish "retry" from "back off" from "stop".
+//
+// Deadlines propagate end to end: CallContext stamps the context's
+// remaining budget on the request envelope, the server wraps the handler's
+// context with it, and deadline failures come back wire-coded so the
+// caller sees context.DeadlineExceeded rather than an opaque string.
 package rpc
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -36,11 +44,23 @@ var (
 	// ErrConnectionLost is returned when the transport died under a call
 	// that had no reply yet, and by every call after that.
 	ErrConnectionLost = errors.New("rpc: connection lost")
+	// ErrOverloaded is returned when the server shed the request because
+	// its wait queue was full. Handlers return errors wrapping it; the
+	// wire code resurfaces it typed on the client, where it means "the
+	// call never ran — back off and retry".
+	ErrOverloaded = errors.New("rpc: server overloaded")
 )
 
-// codeServerClosed marks a shutdown refusal on the wire so the client can
-// surface the typed ErrServerClosed rather than an opaque string.
-const codeServerClosed = "server-closed"
+// Wire codes tag machine-readable error classes on reply envelopes, so the
+// client surfaces typed errors rather than opaque strings.
+const (
+	// codeServerClosed marks a shutdown refusal.
+	codeServerClosed = "server-closed"
+	// codeOverloaded marks a request shed by an overloaded server.
+	codeOverloaded = "overloaded"
+	// codeDeadline marks a handler cut off by the request's own deadline.
+	codeDeadline = "deadline"
+)
 
 // MaxFrame bounds a frame to keep a corrupt length prefix from allocating
 // unbounded memory.
@@ -51,21 +71,28 @@ const MaxFrame = 64 << 20
 // with it the drain — forever. A var so tests can shorten it.
 var drainTimeout = 10 * time.Second
 
+// encodeFrame renders one length-prefixed JSON message.
+func encodeFrame(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(body))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
 // frame writes one length-prefixed JSON message.
 func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
+	frame, err := encodeFrame(v)
 	if err != nil {
 		return err
 	}
-	if len(body) > MaxFrame {
-		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(body))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	_, err = w.Write(frame)
 	return err
 }
 
@@ -94,11 +121,16 @@ type envelope struct {
 	Err    string          `json:"err,omitempty"`
 	// Code tags machine-readable error classes (see codeServerClosed).
 	Code string `json:"code,omitempty"`
+	// TimeoutNS is the caller's remaining deadline budget, carried as a
+	// relative duration (absolute times don't survive clock skew); the
+	// server bounds the handler's context with it.
+	TimeoutNS int64 `json:"timeout_ns,omitempty"`
 }
 
-// Handler serves one method: it receives the raw request body and returns
-// the response value or an error.
-type Handler func(body json.RawMessage) (any, error)
+// Handler serves one method: it receives the request context (carrying the
+// caller's deadline, if any) and raw body, and returns the response value
+// or an error.
+type Handler func(ctx context.Context, body json.RawMessage) (any, error)
 
 // Server dispatches incoming calls on a listener.
 type Server struct {
@@ -207,9 +239,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				reply(envelope{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)})
 				return
 			}
-			out, err := h(req.Body)
+			ctx := context.Background()
+			if req.TimeoutNS > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNS))
+				defer cancel()
+			}
+			out, err := h(ctx, req.Body)
 			if err != nil {
-				reply(envelope{ID: req.ID, Err: err.Error()})
+				reply(envelope{ID: req.ID, Err: err.Error(), Code: errCode(err)})
 				return
 			}
 			body, err := json.Marshal(out)
@@ -220,6 +258,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			reply(envelope{ID: req.ID, Body: body})
 		}(req)
 	}
+}
+
+// errCode maps a handler failure to its wire code ("" for plain errors),
+// so typed error classes survive the string-typed wire.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return codeOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeDeadline
+	}
+	return ""
 }
 
 // Close stops accepting, drains in-flight handlers (their replies are
@@ -272,19 +322,37 @@ type Client struct {
 	err     error
 }
 
-// Dial connects to a server.
+// Dial connects to a server, blocking until the connection lands or the
+// network gives up. Prefer DialTimeout for anything that must not hang on
+// an unroutable address.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn), nil
+}
+
+// DialTimeout is Dial with a bound on connection establishment (0 means
+// no bound, i.e. Dial).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient speaks the protocol over an established connection — the seam
+// fault injectors and alternative transports plug into.
+func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
 		w:       bufio.NewWriter(conn),
 		pending: map[uint64]chan envelope{},
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // fail marks the client dead with a typed error (keeping the first cause)
@@ -324,10 +392,32 @@ func (c *Client) readLoop() {
 // called, Call fails fast with the typed cause (ErrClientClosed,
 // ErrConnectionLost).
 func (c *Client) Call(method string, req, resp any) error {
+	return c.CallContext(context.Background(), method, req, resp)
+}
+
+// CallContext is Call with a per-call deadline: the context's remaining
+// budget rides the request envelope (the server bounds the handler with
+// it), and a context that expires while the call is in flight abandons the
+// reply and returns ctx.Err(). The connection stays usable — a late reply
+// to an abandoned id is dropped by the read loop.
+func (c *Client) CallContext(ctx context.Context, method string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
+	env := envelope{Method: method, Body: body}
+	if dl, ok := ctx.Deadline(); ok {
+		budget := time.Until(dl)
+		if budget <= 0 {
+			return context.DeadlineExceeded
+		}
+		// The server gets 7/8 of the caller's budget: a handler that runs
+		// to its deadline (e.g. degrading to an incumbent plan) still has
+		// the remaining 1/8 for its reply to cross the wire before the
+		// caller's own context abandons the call.
+		env.TimeoutNS = (budget - budget/8).Nanoseconds()
+	}
+
 	ch := make(chan envelope, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -337,42 +427,69 @@ func (c *Client) Call(method string, req, resp any) error {
 	}
 	c.nextID++
 	id := c.nextID
+	env.ID = id
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	// Marshal and limit failures above are the caller's; from here on, any
+	// failure is the transport's, and poisons the connection.
+	frame, err := encodeFrame(env)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
 	c.wmu.Lock()
-	err = writeFrame(c.w, envelope{ID: id, Method: method, Body: body})
+	_, err = c.w.Write(frame)
 	if err == nil {
 		err = c.w.Flush()
 	}
 	c.wmu.Unlock()
 	if err != nil {
+		// A half-written frame has desynced the stream for every user of
+		// the connection, so the whole client fails typed — unless Close or
+		// the read loop got there first, whose cause wins.
+		c.fail(fmt.Errorf("%w: write: %v", ErrConnectionLost, err))
 		c.mu.Lock()
 		delete(c.pending, id)
-		typed := c.err
+		err := c.err
 		c.mu.Unlock()
-		if typed != nil {
-			// Close (or connection loss) raced the write; surface the typed
-			// cause rather than the raw closed-socket error.
-			return typed
-		}
 		return err
 	}
 
-	env, ok := <-ch
-	if !ok {
-		// The connection died (or Close ran) before a reply arrived.
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrConnectionLost
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			// The connection died (or Close ran) before a reply arrived.
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrConnectionLost
+			}
+			return err
 		}
-		return err
+		return decodeReply(env, resp)
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return ctx.Err()
 	}
+}
+
+// decodeReply surfaces a reply envelope as a typed error or the decoded
+// response body.
+func decodeReply(env envelope, resp any) error {
 	if env.Err != "" {
-		if env.Code == codeServerClosed {
+		switch env.Code {
+		case codeServerClosed:
 			return ErrServerClosed
+		case codeOverloaded:
+			return wrapCoded(env.Err, ErrOverloaded)
+		case codeDeadline:
+			return wrapCoded(env.Err, context.DeadlineExceeded)
 		}
 		return errors.New(env.Err)
 	}
@@ -380,6 +497,19 @@ func (c *Client) Call(method string, req, resp any) error {
 		return json.Unmarshal(env.Body, resp)
 	}
 	return nil
+}
+
+// wrapCoded rebuilds a typed error from its wire string: the server-side
+// message usually ends in the base error's own text (it wrapped the same
+// sentinel), which is cut before re-wrapping so the text doesn't double.
+func wrapCoded(msg string, base error) error {
+	if msg == base.Error() {
+		return base
+	}
+	if trimmed, ok := strings.CutSuffix(msg, ": "+base.Error()); ok {
+		msg = trimmed
+	}
+	return fmt.Errorf("%s: %w", msg, base)
 }
 
 // Close tears the connection down; pending and subsequent calls fail with

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -32,7 +33,7 @@ type opResp struct {
 // server. The caller owns both and shuts the server down first.
 func ServeWorker(lis net.Listener, w *Worker) *rpc.Server {
 	srv := rpc.NewServer(lis)
-	srv.Handle("worker.setup", func(body json.RawMessage) (any, error) {
+	srv.Handle("worker.setup", func(_ context.Context, body json.RawMessage) (any, error) {
 		var req setupReq
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, err
@@ -43,14 +44,14 @@ func ServeWorker(lis net.Listener, w *Worker) *rpc.Server {
 		}
 		return opResp{Seconds: sec}, nil
 	})
-	srv.Handle("worker.cleanup", func(json.RawMessage) (any, error) {
+	srv.Handle("worker.cleanup", func(context.Context, json.RawMessage) (any, error) {
 		sec, err := w.Cleanup()
 		if err != nil {
 			return nil, err
 		}
 		return opResp{Seconds: sec}, nil
 	})
-	srv.Handle("worker.load", func(body json.RawMessage) (any, error) {
+	srv.Handle("worker.load", func(_ context.Context, body json.RawMessage) (any, error) {
 		var req loadReq
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, err
@@ -61,7 +62,7 @@ func ServeWorker(lis net.Listener, w *Worker) *rpc.Server {
 		}
 		return opResp{Seconds: sec}, nil
 	})
-	srv.Handle("worker.ping", func(json.RawMessage) (any, error) {
+	srv.Handle("worker.ping", func(context.Context, json.RawMessage) (any, error) {
 		if !w.Alive() {
 			return nil, fmt.Errorf("runtime: worker dead")
 		}

@@ -129,6 +129,16 @@ type ServiceStats struct {
 	// dir; nil for a service that started fresh (so pre-durability stats
 	// encodings are byte-unchanged).
 	Recovery *RecoveryStats `json:"recovery,omitempty"`
+	// Overloaded counts requests shed because the planner wait queue was
+	// full, and Degraded counts deadline-cut searches answered with the
+	// job's warm incumbent. Omitted at zero so pre-resilience stats
+	// encodings are byte-unchanged.
+	Overloaded uint64 `json:"overloaded,omitempty"`
+	Degraded   uint64 `json:"degraded,omitempty"`
+	// JournalError is the recorder's sticky append error, "" while the
+	// journal is healthy. A non-empty value means writes since that error
+	// are not durable until the next snapshot rotation.
+	JournalError string `json:"journal_error,omitempty"`
 }
 
 // RecoveryStats is the telemetry of one snapshot+journal recovery.

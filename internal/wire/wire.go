@@ -242,6 +242,10 @@ type PlanResult struct {
 	OOMPlansEmitted int      `json:"oom_plans_emitted"`
 	WarmStart       bool     `json:"warm_start"`
 	CacheHits       int      `json:"cache_hits"`
+	// Degraded marks a deadline-cut search answered with the job's warm
+	// incumbent instead of a fresh result; omitted when false so existing
+	// goldens are byte-unchanged.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // FromResult converts a planner result to its wire shape.
@@ -254,6 +258,7 @@ func FromResult(r planner.Result) PlanResult {
 		OOMPlansEmitted: r.OOMPlansEmitted,
 		WarmStart:       r.WarmStart,
 		CacheHits:       r.CacheHits,
+		Degraded:        r.Degraded,
 	}
 }
 
@@ -267,6 +272,7 @@ func (r PlanResult) Result() planner.Result {
 		OOMPlansEmitted: r.OOMPlansEmitted,
 		WarmStart:       r.WarmStart,
 		CacheHits:       r.CacheHits,
+		Degraded:        r.Degraded,
 	}
 }
 

@@ -1,0 +1,319 @@
+package sailor
+
+// Chaos acceptance (e2e): the preemption-storm 3-job fleet replay driven
+// through a wire client against a durable sailor server, under a scripted
+// fault schedule — a journal append-failure window during step 1, a
+// connection-cut storm around step 2's rebalance (client request cut
+// mid-frame, server reply cut post-commit, one refused redial), and a
+// kill -9 crash + same-address recovery before step 3. The surviving
+// ledger trajectory (per-step version + lease table) and the final lease
+// table must be byte-identical to the undisturbed run, at workers=1 and
+// workers=8; the fault schedule and the fault log are pinned as goldens,
+// and the log must replay byte-for-byte across runs and worker counts.
+//
+// Fault coordinates are deterministic because the driver is sequential
+// and every client request is one buffered write: "the Nth write on conn
+// K" counts rpc calls. Server-side faults only fire at write #1 of a
+// fresh connection (reply byte-lengths vary run to run), and the journal
+// fault is indexed by append count discovered from the undisturbed
+// baseline — after the fault window no journal-indexed rule may fire,
+// because poisoned appends short-circuit before reaching the injector.
+//
+// The disturbed rebalance is retried only at proven-idempotent points:
+// the request cut happens before the server decodes it (so the retry
+// applies the pass exactly once), and the reply cut happens after the
+// commit (so the retry finds the work done and mutates nothing — the
+// ledger version trajectory stays on the baseline).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/persist"
+	"repro/internal/testutil"
+)
+
+const (
+	// chaosFaultStep is the step whose first journal append fails,
+	// poisoning the journal until the heal rotation after the step.
+	chaosFaultStep = 1
+	// chaosDisturbedStep is the step whose rebalance rides the
+	// connection-cut storm; its rebalance reply is lost, so only its
+	// surviving ledger trajectory is compared.
+	chaosDisturbedStep = 2
+	// chaosCrashStep is the step before which the daemon is killed (no
+	// final snapshot) and recovered on the same address.
+	chaosCrashStep = 3
+)
+
+// chaosSchedule scripts the storm. appendsAtFaultStep is the injector's
+// append count at the start of the fault step (discovered from the
+// baseline run); cutWrite is the client conn-1 write index of the
+// disturbed step's rebalance request (counted from the call sequence).
+func chaosSchedule(appendsAtFaultStep, cutWrite int) *chaos.Schedule {
+	return &chaos.Schedule{
+		Name: "preemption-storm-chaos",
+		Description: "journal fault window in step 1, conn-cut storm around the " +
+			"step-2 rebalance, kill -9 before step 3",
+		Seed: 1,
+		Faults: []chaos.Rule{
+			{ID: "journal-window", Target: chaos.TargetJournal, Nth: appendsAtFaultStep + 1,
+				Action: chaos.ActionFail, OffsetBytes: 5},
+			{ID: "cut-rebalance-request", Target: chaos.TargetConn, Side: chaos.SideClient,
+				Conn: 1, Nth: cutWrite, Action: chaos.ActionCut, OffsetBytes: 10},
+			{ID: "cut-rebalance-reply", Target: chaos.TargetConn, Side: chaos.SideServer,
+				Conn: 2, Nth: 1, Action: chaos.ActionCut, OffsetBytes: 9},
+			{ID: "refuse-redial", Target: chaos.TargetListener, Nth: 3, Action: chaos.ActionRefuse},
+		},
+	}
+}
+
+// rebalanceCutWrite counts the client rpc calls preceding the disturbed
+// step's rebalance — every call is exactly one write on conn 1.
+func rebalanceCutWrite(groups [][]TraceEvent) int {
+	n := 1 + crashJobs // SetFleet + OpenJobs
+	for _, g := range groups[:chaosDisturbedStep] {
+		n += len(g) + 2 // FleetEvents + Rebalance + FleetStats
+	}
+	n += 2                               // the Stats pair bracketing the heal rotation
+	n += len(groups[chaosDisturbedStep]) // the disturbed step's own events
+	return n + 1                         // the rebalance request itself
+}
+
+// chaosRun is one wire-driven replay's observable record.
+type chaosRun struct {
+	steps      []crashStep
+	appendsAt  []int  // injector append count at the start of each step
+	faultLog   []byte // canonical fault log
+	finalFleet []byte // canonical final FleetStats (the lease table)
+}
+
+// driveChaosReplay boots a durable sailor server behind the injector's
+// listener wrapper, drives the full preemption-storm replay through a
+// retrying wire client whose connections the injector also wraps, and —
+// when a schedule is armed — heals the journal after the fault step and
+// kill -9s + recovers the daemon on the same address before the crash
+// step. A nil schedule is the undisturbed baseline over the identical
+// call sequence.
+func driveChaosReplay(t *testing.T, workers int, sched *chaos.Schedule) chaosRun {
+	t.Helper()
+	groups, gpus, cap := crashTrace(t)
+	inj, err := chaos.NewInjector(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosOn := sched != nil
+
+	dir := filepath.Join(t.TempDir(), "state")
+	pcfg := persist.Config{Fsync: persist.FsyncNone, WrapJournal: inj.WrapJournal}
+	store, recovered, err := persist.Open(dir, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != nil {
+		t.Fatalf("fresh dir recovered state: %+v", recovered)
+	}
+	svc := NewService(ServiceConfig{Workers: workers, MaxConcurrent: 4})
+	if err := store.Rotate(svc.PersistState()); err != nil {
+		t.Fatal(err)
+	}
+	svc.SetRecorder(store)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	srv := NewServer(inj.WrapListener(lis), svc)
+	go srv.Serve()
+
+	c, err := DialWith(addr, DialConfig{
+		Retry: RetryPolicy{MaxAttempts: 6, BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff: 10 * time.Millisecond, RetryMutating: true},
+		Dialer: func(a string) (net.Conn, error) {
+			nc, err := net.Dial("tcp", a)
+			if err != nil {
+				return nil, err
+			}
+			return inj.WrapConn(nc), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.SetFleet(NewPool(), cap); err != nil {
+		t.Fatal(err)
+	}
+	openCrashJobs(t, c, gpus)
+
+	var run chaosRun
+	for i, g := range groups {
+		if chaosOn && i == chaosCrashStep {
+			// Kill -9: no final snapshot; journal abandoned mid-generation.
+			srv.Close()
+			store.Close()
+			store2, rec2, err := persist.Open(dir, pcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec2 == nil {
+				t.Fatal("no recovered state after the chaos crash")
+			}
+			if rec2.RecordsReplayed == 0 {
+				t.Error("chaos recovery replayed zero records — the healed journal lost the post-heal steps")
+			}
+			svc2 := NewService(ServiceConfig{Workers: workers, MaxConcurrent: 4})
+			if err := svc2.Restore(rec2); err != nil {
+				t.Fatal(err)
+			}
+			if err := store2.Rotate(svc2.PersistState()); err != nil {
+				t.Fatal(err)
+			}
+			svc2.SetRecorder(store2)
+			// Reboot on the same address: the client's next call re-dials.
+			lis2, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv2 := NewServer(inj.WrapListener(lis2), svc2)
+			go srv2.Serve()
+			svc, store, srv = svc2, store2, srv2
+		}
+		run.appendsAt = append(run.appendsAt, inj.Counters().Appends)
+		run.steps = append(run.steps, driveGroup(t, c, g))
+		if i == chaosFaultStep {
+			// The journal fault window: the sticky append error must be
+			// visible over the wire, and the heal rotation must clear it.
+			st, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chaosOn {
+				if !strings.Contains(st.JournalError, "journal-window") {
+					t.Fatalf("JournalError = %q after the fault window, want the chaos rule named", st.JournalError)
+				}
+			} else if st.JournalError != "" {
+				t.Fatalf("baseline JournalError = %q, want empty", st.JournalError)
+			}
+			if err := store.Rotate(svc.PersistState()); err != nil {
+				t.Fatal(err)
+			}
+			st, err = c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.JournalError != "" {
+				t.Fatalf("JournalError = %q after the heal rotation, want empty", st.JournalError)
+			}
+		}
+	}
+
+	fst, err := c.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := json.MarshalIndent(fst, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.finalFleet = append(final, '\n')
+	run.faultLog, err = inj.MarshalLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	store.Close()
+	return run
+}
+
+// TestChaosPreemptionStormE2E is the chaos acceptance harness.
+func TestChaosPreemptionStormE2E(t *testing.T) {
+	groups, gpus, cap := crashTrace(t)
+	full := runUninterrupted(t, groups, gpus, cap)
+
+	logs := map[int][]byte{}
+	finals := map[int][]byte{}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// Undisturbed baseline over the wire: byte-identical to the
+			// in-process replay, and the coordinate discovery for the
+			// schedule's journal rule.
+			base := driveChaosReplay(t, workers, nil)
+			if got, want := marshalCrashSteps(t, base.steps), marshalCrashSteps(t, full); !bytes.Equal(got, want) {
+				t.Fatalf("wire baseline diverged from the in-process replay:\n--- wire ---\n%s\n--- in-process ---\n%s", got, want)
+			}
+			if n := len(base.faultLog); !bytes.Equal(base.faultLog, []byte("[]\n")) {
+				t.Fatalf("baseline fault log not empty (%d bytes): %s", n, base.faultLog)
+			}
+
+			sched := chaosSchedule(base.appendsAt[chaosFaultStep], rebalanceCutWrite(groups))
+			doc, err := chaos.Marshal(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.CheckGolden(t, "chaos-preemption-storm.schedule.json", doc)
+			// Run what the committed file says, not the in-memory struct.
+			loaded, err := chaos.Unmarshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			run := driveChaosReplay(t, workers, loaded)
+
+			// Surviving ledger trajectory: per-step version + lease table
+			// byte-identical to the undisturbed run at every step.
+			for i := range full {
+				if run.steps[i].Version != full[i].Version {
+					t.Errorf("step %d: ledger version %d under chaos, want %d", i, run.steps[i].Version, full[i].Version)
+				}
+				got, err := json.Marshal(run.steps[i].Leases)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := json.Marshal(full[i].Leases)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("step %d: lease table diverged under chaos:\n%s\nvs\n%s", i, got, want)
+				}
+			}
+			// Undisturbed steps are byte-identical end to end; the disturbed
+			// step's rebalance reply was lost (its retry observes the pass
+			// already committed), so only its trajectory above is compared.
+			for i := range full {
+				if i == chaosDisturbedStep {
+					continue
+				}
+				got := marshalCrashSteps(t, []crashStep{run.steps[i]})
+				want := marshalCrashSteps(t, []crashStep{full[i]})
+				if !bytes.Equal(got, want) {
+					t.Errorf("step %d diverged under chaos:\n--- chaos ---\n%s\n--- baseline ---\n%s", i, got, want)
+				}
+			}
+			if !bytes.Equal(run.finalFleet, base.finalFleet) {
+				t.Errorf("final lease table diverged under chaos:\n--- chaos ---\n%s\n--- baseline ---\n%s", run.finalFleet, base.finalFleet)
+			}
+
+			// The fault log is replayable byte-for-byte: pinned as a golden,
+			// and identical across worker counts (asserted below).
+			testutil.CheckGolden(t, "chaos-preemption-storm.faultlog.json", run.faultLog)
+			logs[workers] = run.faultLog
+			finals[workers] = run.finalFleet
+		})
+	}
+	if a, b := logs[1], logs[8]; a != nil && b != nil && !bytes.Equal(a, b) {
+		t.Errorf("fault logs differ across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+	if a, b := finals[1], finals[8]; a != nil && b != nil && !bytes.Equal(a, b) {
+		t.Errorf("final lease tables differ across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}

@@ -3,38 +3,52 @@ package sailor
 // Client is the wire-side implementation of API: it speaks the versioned
 // request/response messages of internal/wire over the internal/rpc framing
 // to a sailor-serve daemon (or any Server). One Client multiplexes
-// concurrent calls over a single connection.
+// concurrent calls over a single connection; when that connection dies,
+// the retry loop in retry.go re-dials and (for idempotent calls) retries
+// with capped, seeded-jitter exponential backoff. Context deadlines ride
+// the wire: the server honors them end to end, cutting searches short
+// (and degrading to the warm incumbent where it can).
 
 import (
 	"context"
-	"fmt"
+	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
-// Client drives a remote Service. Create one with Dial; Close releases the
-// connection.
+// Client drives a remote Service. Create one with Dial or DialWith; Close
+// releases the connection.
 type Client struct {
-	rpc *rpc.Client
+	addr string
+	cfg  DialConfig
+
+	mu     sync.Mutex
+	rpc    *rpc.Client
+	rng    *rand.Rand
+	closed bool
 }
 
 var _ API = (*Client)(nil)
 
-// Dial connects to a sailor-serve daemon at addr (host:port).
-func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("sailor: dial %s: %w", addr, err)
+// Close tears the connection down; in-flight calls fail, and no further
+// re-dials are attempted.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	rc := c.rpc
+	c.rpc = nil
+	c.mu.Unlock()
+	if rc == nil {
+		return nil
 	}
-	return &Client{rpc: c}, nil
+	return rc.Close()
 }
 
-// Close tears the connection down; in-flight calls fail.
-func (c *Client) Close() error { return c.rpc.Close() }
-
-// OpenJob implements API over the wire.
+// OpenJob implements API over the wire. Mutating: retried only under
+// RetryPolicy.RetryMutating.
 func (c *Client) OpenJob(job string, m Model, gpus []GPUType, priority int) error {
 	names := make([]string, len(gpus))
 	for i, g := range gpus {
@@ -42,27 +56,27 @@ func (c *Client) OpenJob(job string, m Model, gpus []GPUType, priority int) erro
 	}
 	req := wire.OpenJobRequest{V: wire.Version, Job: job, Model: wire.FromModel(m), GPUs: names, Priority: priority}
 	var resp wire.OpenJobResponse
-	if err := c.rpc.Call(wire.MethodOpenJob, req, &resp); err != nil {
+	if err := c.call(context.Background(), wire.MethodOpenJob, req, &resp, true); err != nil {
 		return err
 	}
 	return wire.Check(resp.V)
 }
 
-// SetFleet implements API over the wire.
+// SetFleet implements API over the wire. Mutating.
 func (c *Client) SetFleet(capacity *Pool, jobCapGPUs int) error {
 	req := wire.SetFleetRequest{V: wire.Version, Capacity: wire.FromPool(capacity), JobCapGPUs: jobCapGPUs}
 	var resp wire.SetFleetResponse
-	if err := c.rpc.Call(wire.MethodSetFleet, req, &resp); err != nil {
+	if err := c.call(context.Background(), wire.MethodSetFleet, req, &resp, true); err != nil {
 		return err
 	}
 	return wire.Check(resp.V)
 }
 
-// FleetEvent implements API over the wire.
+// FleetEvent implements API over the wire. Mutating.
 func (c *Client) FleetEvent(ev TraceEvent) ([]LeaseInfo, error) {
 	req := wire.FleetEventRequest{V: wire.Version, Event: wire.FromFleetEvent(ev)}
 	var resp wire.FleetEventResponse
-	if err := c.rpc.Call(wire.MethodFleetEvent, req, &resp); err != nil {
+	if err := c.call(context.Background(), wire.MethodFleetEvent, req, &resp, true); err != nil {
 		return nil, err
 	}
 	if err := wire.Check(resp.V); err != nil {
@@ -71,13 +85,11 @@ func (c *Client) FleetEvent(ev TraceEvent) ([]LeaseInfo, error) {
 	return resp.Broken, nil
 }
 
-// Rebalance implements API over the wire; see Plan for context semantics.
+// Rebalance implements API over the wire. Mutating; see Plan for context
+// semantics.
 func (c *Client) Rebalance(ctx context.Context) ([]RebalanceStep, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	var resp wire.RebalanceResponse
-	if err := c.rpc.Call(wire.MethodRebalance, wire.RebalanceRequest{V: wire.Version}, &resp); err != nil {
+	if err := c.call(ctx, wire.MethodRebalance, wire.RebalanceRequest{V: wire.Version}, &resp, true); err != nil {
 		return nil, err
 	}
 	if err := wire.Check(resp.V); err != nil {
@@ -86,10 +98,11 @@ func (c *Client) Rebalance(ctx context.Context) ([]RebalanceStep, error) {
 	return resp.Steps, nil
 }
 
-// FleetStats implements API over the wire.
+// FleetStats implements API over the wire. Idempotent: retried on
+// transport and overload errors.
 func (c *Client) FleetStats() (FleetStats, error) {
 	var resp wire.FleetStatsResponse
-	if err := c.rpc.Call(wire.MethodFleetStats, wire.FleetStatsRequest{V: wire.Version}, &resp); err != nil {
+	if err := c.call(context.Background(), wire.MethodFleetStats, wire.FleetStatsRequest{V: wire.Version}, &resp, false); err != nil {
 		return FleetStats{}, err
 	}
 	if err := wire.Check(resp.V); err != nil {
@@ -98,12 +111,11 @@ func (c *Client) FleetStats() (FleetStats, error) {
 	return resp.Stats, nil
 }
 
-// Plan implements API over the wire. The context gates only the local
-// send: cancellation is not yet propagated to the daemon's search.
+// Plan implements API over the wire. Idempotent. The context's deadline
+// crosses the wire and bounds the daemon-side search; cancellation
+// abandons the local wait (the daemon's context expires with the
+// deadline, not the cancel).
 func (c *Client) Plan(ctx context.Context, job string, pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
-	if err := ctx.Err(); err != nil {
-		return PlanResult{}, err
-	}
 	req := wire.PlanRequest{
 		V: wire.Version, Job: job,
 		Pool:        wire.FromPool(pool),
@@ -111,7 +123,7 @@ func (c *Client) Plan(ctx context.Context, job string, pool *Pool, obj Objective
 		Constraints: wire.FromConstraints(cons),
 	}
 	var resp wire.PlanResponse
-	if err := c.rpc.Call(wire.MethodPlan, req, &resp); err != nil {
+	if err := c.call(ctx, wire.MethodPlan, req, &resp, false); err != nil {
 		return PlanResult{}, err
 	}
 	if err := wire.Check(resp.V); err != nil {
@@ -120,11 +132,9 @@ func (c *Client) Plan(ctx context.Context, job string, pool *Pool, obj Objective
 	return resp.Result.Result(), nil
 }
 
-// Replan implements API over the wire; see Plan for context semantics.
+// Replan implements API over the wire. Idempotent; see Plan for context
+// semantics.
 func (c *Client) Replan(ctx context.Context, job string, prev Plan, pool *Pool, obj Objective, cons Constraints) (PlanResult, error) {
-	if err := ctx.Err(); err != nil {
-		return PlanResult{}, err
-	}
 	req := wire.ReplanRequest{
 		V: wire.Version, Job: job,
 		Prev:        wire.FromPlan(prev),
@@ -133,7 +143,7 @@ func (c *Client) Replan(ctx context.Context, job string, prev Plan, pool *Pool, 
 		Constraints: wire.FromConstraints(cons),
 	}
 	var resp wire.PlanResponse
-	if err := c.rpc.Call(wire.MethodReplan, req, &resp); err != nil {
+	if err := c.call(ctx, wire.MethodReplan, req, &resp, false); err != nil {
 		return PlanResult{}, err
 	}
 	if err := wire.Check(resp.V); err != nil {
@@ -142,11 +152,11 @@ func (c *Client) Replan(ctx context.Context, job string, prev Plan, pool *Pool, 
 	return resp.Result.Result(), nil
 }
 
-// Simulate implements API over the wire.
+// Simulate implements API over the wire. Idempotent.
 func (c *Client) Simulate(job string, plan Plan) (Estimate, error) {
 	req := wire.SimulateRequest{V: wire.Version, Job: job, Plan: wire.FromPlan(plan)}
 	var resp wire.SimulateResponse
-	if err := c.rpc.Call(wire.MethodSimulate, req, &resp); err != nil {
+	if err := c.call(context.Background(), wire.MethodSimulate, req, &resp, false); err != nil {
 		return Estimate{}, err
 	}
 	if err := wire.Check(resp.V); err != nil {
@@ -155,20 +165,20 @@ func (c *Client) Simulate(job string, plan Plan) (Estimate, error) {
 	return resp.Estimate.Core(), nil
 }
 
-// CloseJob implements API over the wire.
+// CloseJob implements API over the wire. Mutating.
 func (c *Client) CloseJob(job string) error {
 	req := wire.CloseJobRequest{V: wire.Version, Job: job}
 	var resp wire.CloseJobResponse
-	if err := c.rpc.Call(wire.MethodCloseJob, req, &resp); err != nil {
+	if err := c.call(context.Background(), wire.MethodCloseJob, req, &resp, true); err != nil {
 		return err
 	}
 	return wire.Check(resp.V)
 }
 
-// Stats implements API over the wire.
+// Stats implements API over the wire. Idempotent.
 func (c *Client) Stats() (ServiceStats, error) {
 	var resp wire.StatsResponse
-	if err := c.rpc.Call(wire.MethodStats, wire.StatsRequest{V: wire.Version}, &resp); err != nil {
+	if err := c.call(context.Background(), wire.MethodStats, wire.StatsRequest{V: wire.Version}, &resp, false); err != nil {
 		return ServiceStats{}, err
 	}
 	if err := wire.Check(resp.V); err != nil {

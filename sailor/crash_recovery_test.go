@@ -68,7 +68,7 @@ func newCrashService(workers, cap int) *Service {
 
 // openCrashJobs admits the replay's contending tenants, job-0 highest
 // priority — after any recorder is attached, so admissions journal.
-func openCrashJobs(t *testing.T, svc *Service, gpus []GPUType) {
+func openCrashJobs(t *testing.T, svc API, gpus []GPUType) {
 	t.Helper()
 	for i := 0; i < crashJobs; i++ {
 		if err := svc.OpenJob(fmt.Sprintf("job-%d", i), OPT350M(), gpus, crashJobs-i); err != nil {
@@ -78,8 +78,9 @@ func openCrashJobs(t *testing.T, svc *Service, gpus []GPUType) {
 }
 
 // driveGroup applies one timestamp group's events and rebalances, exactly
-// as the sailor-replay fleet loop does.
-func driveGroup(t *testing.T, svc *Service, g []TraceEvent) crashStep {
+// as the sailor-replay fleet loop does. It takes the API interface, so the
+// chaos e2e drives the identical loop through a wire Client.
+func driveGroup(t *testing.T, svc API, g []TraceEvent) crashStep {
 	t.Helper()
 	step := crashStep{AtSeconds: g[0].At.Seconds(), Events: len(g)}
 	for _, ev := range g {

@@ -52,7 +52,7 @@ func (s *Server) Addr() net.Addr { return s.rpc.Addr() }
 // Service returns the hosted service (for stats or in-process calls).
 func (s *Server) Service() *Service { return s.svc }
 
-func (s *Server) openJob(body json.RawMessage) (any, error) {
+func (s *Server) openJob(_ context.Context, body json.RawMessage) (any, error) {
 	var req wire.OpenJobRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -70,7 +70,7 @@ func (s *Server) openJob(body json.RawMessage) (any, error) {
 	return wire.OpenJobResponse{V: wire.Version}, nil
 }
 
-func (s *Server) setFleet(body json.RawMessage) (any, error) {
+func (s *Server) setFleet(_ context.Context, body json.RawMessage) (any, error) {
 	var req wire.SetFleetRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -84,7 +84,7 @@ func (s *Server) setFleet(body json.RawMessage) (any, error) {
 	return wire.SetFleetResponse{V: wire.Version}, nil
 }
 
-func (s *Server) fleetEvent(body json.RawMessage) (any, error) {
+func (s *Server) fleetEvent(_ context.Context, body json.RawMessage) (any, error) {
 	var req wire.FleetEventRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -99,7 +99,7 @@ func (s *Server) fleetEvent(body json.RawMessage) (any, error) {
 	return wire.FleetEventResponse{V: wire.Version, Broken: broken}, nil
 }
 
-func (s *Server) rebalance(body json.RawMessage) (any, error) {
+func (s *Server) rebalance(ctx context.Context, body json.RawMessage) (any, error) {
 	var req wire.RebalanceRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -107,14 +107,14 @@ func (s *Server) rebalance(body json.RawMessage) (any, error) {
 	if err := wire.Check(req.V); err != nil {
 		return nil, err
 	}
-	steps, err := s.svc.Rebalance(context.Background())
+	steps, err := s.svc.Rebalance(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return wire.RebalanceResponse{V: wire.Version, Steps: steps}, nil
 }
 
-func (s *Server) fleetStats(body json.RawMessage) (any, error) {
+func (s *Server) fleetStats(_ context.Context, body json.RawMessage) (any, error) {
 	var req wire.FleetStatsRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -129,7 +129,7 @@ func (s *Server) fleetStats(body json.RawMessage) (any, error) {
 	return wire.FleetStatsResponse{V: wire.Version, Stats: st}, nil
 }
 
-func (s *Server) plan(body json.RawMessage) (any, error) {
+func (s *Server) plan(ctx context.Context, body json.RawMessage) (any, error) {
 	var req wire.PlanRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -141,14 +141,14 @@ func (s *Server) plan(body json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.svc.Plan(context.Background(), req.Job, req.Pool.Cluster(), obj, req.Constraints.Core())
+	res, err := s.svc.Plan(ctx, req.Job, req.Pool.Cluster(), obj, req.Constraints.Core())
 	if err != nil {
 		return nil, err
 	}
 	return wire.PlanResponse{V: wire.Version, Result: wire.FromResult(res)}, nil
 }
 
-func (s *Server) replan(body json.RawMessage) (any, error) {
+func (s *Server) replan(ctx context.Context, body json.RawMessage) (any, error) {
 	var req wire.ReplanRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -160,14 +160,14 @@ func (s *Server) replan(body json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.svc.Replan(context.Background(), req.Job, req.Prev.Core(), req.Pool.Cluster(), obj, req.Constraints.Core())
+	res, err := s.svc.Replan(ctx, req.Job, req.Prev.Core(), req.Pool.Cluster(), obj, req.Constraints.Core())
 	if err != nil {
 		return nil, err
 	}
 	return wire.PlanResponse{V: wire.Version, Result: wire.FromResult(res)}, nil
 }
 
-func (s *Server) simulate(body json.RawMessage) (any, error) {
+func (s *Server) simulate(_ context.Context, body json.RawMessage) (any, error) {
 	var req wire.SimulateRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -182,7 +182,7 @@ func (s *Server) simulate(body json.RawMessage) (any, error) {
 	return wire.SimulateResponse{V: wire.Version, Estimate: wire.FromEstimate(est)}, nil
 }
 
-func (s *Server) closeJob(body json.RawMessage) (any, error) {
+func (s *Server) closeJob(_ context.Context, body json.RawMessage) (any, error) {
 	var req wire.CloseJobRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err
@@ -196,7 +196,7 @@ func (s *Server) closeJob(body json.RawMessage) (any, error) {
 	return wire.CloseJobResponse{V: wire.Version}, nil
 }
 
-func (s *Server) stats(body json.RawMessage) (any, error) {
+func (s *Server) stats(_ context.Context, body json.RawMessage) (any, error) {
 	var req wire.StatsRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, err

@@ -28,12 +28,19 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/planner"
+	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
 // ErrNoFleet is returned by the fleet-mode calls (FleetEvent, Rebalance,
 // FleetStats) of a service that has no capacity ledger configured.
 var ErrNoFleet = errors.New("sailor: fleet mode not enabled (set ServiceConfig.Fleet or call SetFleet)")
+
+// ErrOverloaded is the typed error of a request shed because the planner
+// wait queue was full (ServiceConfig.MaxQueued). It is rpc.ErrOverloaded,
+// so the condition survives the wire round-trip and the client retry
+// policy classifies it as retryable-with-backoff.
+var ErrOverloaded = rpc.ErrOverloaded
 
 // WireVersion is the serving API's schema version: every request and
 // response message carries it, and mismatched generations refuse each
@@ -77,6 +84,11 @@ type ServiceConfig struct {
 	// MaxConcurrent bounds how many planner searches (plans + replans) run
 	// at once across all tenants; excess requests queue (0 = NumCPU).
 	MaxConcurrent int
+	// MaxQueued bounds how many requests may wait for a planner slot once
+	// all MaxConcurrent are busy; requests beyond the bound are shed
+	// immediately with ErrOverloaded instead of queueing without limit
+	// (0 = 8×MaxConcurrent, negative = unbounded).
+	MaxQueued int
 	// SystemCacheSize caps the LRU of profiled Systems shared between jobs
 	// with the same (model, GPU set, seed) shape (0 = 16).
 	SystemCacheSize int
@@ -103,6 +115,9 @@ type ServiceConfig struct {
 func (c ServiceConfig) withDefaults() ServiceConfig {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = goruntime.NumCPU()
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 8 * c.MaxConcurrent
 	}
 	if c.SystemCacheSize <= 0 {
 		c.SystemCacheSize = 16
@@ -177,6 +192,12 @@ type Service struct {
 	inflight  atomic.Int64
 	sysHits   atomic.Uint64
 	sysMisses atomic.Uint64
+
+	// queued counts requests currently waiting for a planner slot;
+	// overloaded and degraded are the resilience telemetry of Stats.
+	queued     atomic.Int64
+	overloaded atomic.Uint64
+	degraded   atomic.Uint64
 }
 
 var _ API = (*Service)(nil)
@@ -349,13 +370,63 @@ func (s *Service) begin(class *atomic.Uint64) func(err error) {
 }
 
 // acquire takes a planner-concurrency slot, honoring ctx while queued.
+// When every slot is busy the request joins a bounded wait queue
+// (ServiceConfig.MaxQueued); joining past the bound sheds the request
+// immediately with ErrOverloaded — back-pressure a remote client's retry
+// policy can see and back off from, instead of an unbounded pile-up.
 func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if max := s.cfg.MaxQueued; max >= 0 {
+		if q := s.queued.Add(1); q > int64(max) {
+			s.queued.Add(-1)
+			s.overloaded.Add(1)
+			return fmt.Errorf("sailor: planner queue full (%d waiting, max %d): %w", q-1, max, ErrOverloaded)
+		}
+		defer s.queued.Add(-1)
+	}
 	select {
 	case s.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("sailor: queued request cancelled: %w", ctx.Err())
 	}
+}
+
+// degrade is the graceful-degradation path of Plan and Replan: when a
+// search was cut off by the request deadline and the job has a warm
+// incumbent (its last successful plan), answer with the incumbent
+// re-estimated and marked Degraded instead of surfacing the deadline
+// error. The ledger is never touched — in fleet mode the incumbent's
+// lease (if any) is exactly what the job already holds. Cancellation and
+// overload shedding do not degrade: a cancelled caller is gone, and a
+// shed request must surface ErrOverloaded so the client backs off.
+func (s *Service) degrade(ctx context.Context, j *serviceJob, searchErr error) (PlanResult, bool) {
+	if !errors.Is(searchErr, context.DeadlineExceeded) && !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return PlanResult{}, false
+	}
+	if errors.Is(searchErr, ErrOverloaded) {
+		return PlanResult{}, false
+	}
+	s.mu.Lock()
+	prev := j.lastPlan
+	s.mu.Unlock()
+	if len(prev.Stages) == 0 {
+		return PlanResult{}, false
+	}
+	sys, err := s.jobSystem(j)
+	if err != nil {
+		return PlanResult{}, false
+	}
+	est, err := sys.simulator.Estimate(prev)
+	if err != nil {
+		return PlanResult{}, false
+	}
+	s.degraded.Add(1)
+	return PlanResult{Plan: prev, Estimate: est, Degraded: true}, true
 }
 
 // Plan implements API: a cold planner search, identical to System.Plan on
@@ -370,11 +441,20 @@ func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objectiv
 		return PlanResult{}, err
 	}
 	if err := s.acquire(ctx); err != nil {
+		if deg, ok := s.degrade(ctx, j, err); ok {
+			return deg, nil
+		}
 		return PlanResult{}, err
 	}
 	defer func() { <-s.sem }()
 	if led := s.ledger(); led != nil {
-		return s.planFleet(ctx, job, j, led, Plan{}, false, obj, cons)
+		res, err = s.planFleet(ctx, job, j, led, Plan{}, false, obj, cons)
+		if err != nil {
+			if deg, ok := s.degrade(ctx, j, err); ok {
+				return deg, nil
+			}
+		}
+		return res, err
 	}
 	sys, err := s.jobSystem(j)
 	if err != nil {
@@ -382,10 +462,14 @@ func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objectiv
 	}
 	pl := planner.New(sys.Model, sys.simulator, sys.plannerOpts(obj, cons, sys.workerCount()))
 	res, err = pl.PlanContext(ctx, pool)
-	if err == nil {
-		s.recordPlan(job, j, res.Plan, obj, cons)
+	if err != nil {
+		if deg, ok := s.degrade(ctx, j, err); ok {
+			return deg, nil
+		}
+		return res, err
 	}
-	return res, err
+	s.recordPlan(job, j, res.Plan, obj, cons)
+	return res, nil
 }
 
 // Replan implements API: a warm replan against the job's private cache,
@@ -399,11 +483,20 @@ func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool,
 		return PlanResult{}, err
 	}
 	if err := s.acquire(ctx); err != nil {
+		if deg, ok := s.degrade(ctx, j, err); ok {
+			return deg, nil
+		}
 		return PlanResult{}, err
 	}
 	defer func() { <-s.sem }()
 	if led := s.ledger(); led != nil {
-		return s.planFleet(ctx, job, j, led, prev, true, obj, cons)
+		res, err = s.planFleet(ctx, job, j, led, prev, true, obj, cons)
+		if err != nil {
+			if deg, ok := s.degrade(ctx, j, err); ok {
+				return deg, nil
+			}
+		}
+		return res, err
 	}
 	sys, err := s.jobSystem(j)
 	if err != nil {
@@ -413,10 +506,14 @@ func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool,
 	opts.Warm = j.warm
 	pl := planner.New(sys.Model, sys.simulator, opts)
 	res, err = pl.ReplanContext(ctx, prev, pool)
-	if err == nil {
-		s.recordPlan(job, j, res.Plan, obj, cons)
+	if err != nil {
+		if deg, ok := s.degrade(ctx, j, err); ok {
+			return deg, nil
+		}
+		return res, err
 	}
-	return res, err
+	s.recordPlan(job, j, res.Plan, obj, cons)
+	return res, nil
 }
 
 // recordPlan remembers a job's last successful request — the seed of the
@@ -826,7 +923,16 @@ func (s *Service) Stats() (ServiceStats, error) {
 	jobs := len(s.jobs)
 	cached := s.systems.len()
 	recovery := s.recovery
+	rec := s.rec
 	s.mu.Unlock()
+	// The recorder's sticky append error is read outside s.mu: the
+	// persist.Store takes its own lock and must never nest inside ours.
+	journalErr := ""
+	if hr, ok := rec.(interface{ Err() error }); ok {
+		if err := hr.Err(); err != nil {
+			journalErr = err.Error()
+		}
+	}
 	uptime := time.Since(s.start).Seconds()
 	reqs := s.requests.Load()
 	qps := 0.0
@@ -847,6 +953,9 @@ func (s *Service) Stats() (ServiceStats, error) {
 		SystemCacheHits:   s.sysHits.Load(),
 		SystemCacheMisses: s.sysMisses.Load(),
 		Recovery:          recovery,
+		Overloaded:        s.overloaded.Load(),
+		Degraded:          s.degraded.Load(),
+		JournalError:      journalErr,
 	}, nil
 }
 
