@@ -363,7 +363,9 @@ func BenchmarkFleetRebalance(b *testing.B) {
 	for _, jobs := range []int{4, 16} {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			tr := sc.TraceWith(1, trace.ScenarioOpts{Base: 4 * jobs})
-			svc := sailor.NewService(sailor.ServiceConfig{Workers: 1})
+			// Speculation off: this row pins the foreground rebalance cost;
+			// the prefetch layer has its own row (BenchmarkReplanSpeculative).
+			svc := sailor.NewService(sailor.ServiceConfig{Workers: 1, WithoutSpeculation: true})
 			for i := 0; i < jobs; i++ {
 				if err := svc.OpenJob(fmt.Sprintf("job-%d", i), sailor.OPT350M(),
 					[]core.GPUType{core.A100}, jobs-i); err != nil {
@@ -467,13 +469,15 @@ func BenchmarkReplanCold(b *testing.B) {
 // from the previously chosen plan. The chosen plans are identical to the
 // cold run's (asserted in internal/planner's warm tests); only the search
 // cost drops — the acceptance target is >= 2x over BenchmarkReplanCold.
+// The delta-scoped probe is disabled so the row keeps measuring the plain
+// warm path (BenchmarkReplanIncremental measures the probe).
 func BenchmarkReplanWarm(b *testing.B) {
 	cfg := model.OPT350M()
 	s, _ := benchLab(b, cfg, core.A100)
 	pools := replanPools(b)
 	pl := planner.New(cfg, s, planner.Options{
 		Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
-		Warm: planner.NewWarmCache(),
+		Warm: planner.NewWarmCache(), DisableIncremental: true,
 	})
 	var hits, explored int
 	b.ResetTimer()
@@ -493,6 +497,102 @@ func BenchmarkReplanWarm(b *testing.B) {
 	b.ReportMetric(float64(len(pools)), "replans/op")
 	b.ReportMetric(float64(hits), "cache-hits/op")
 	b.ReportMetric(float64(explored), "explored/op")
+}
+
+// BenchmarkReplanIncremental measures the delta-scoped incremental replan
+// path: one op = a descent of one-zone single-GPU shrinks, each replanned
+// against the memo of the search one step earlier. The warm cache is
+// re-seeded off the clock every op, so no step ever finds its exact keys
+// cached and every step exercises the probe rather than a plain warm hit.
+// Plans are bit-identical to cold searches (TestIncrementalReplanOracle);
+// only the search cost drops.
+func BenchmarkReplanIncremental(b *testing.B) {
+	cfg := model.OPT350M()
+	s, _ := benchLab(b, cfg, core.A100)
+	base, steps := experiments.ReplanDescent()
+	b.Run("delta=1zone", func(b *testing.B) {
+		b.ReportAllocs()
+		var hits, explored int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pl := planner.New(cfg, s, planner.Options{
+				Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
+				Workers: 1, Warm: planner.NewWarmCache(),
+			})
+			res, err := pl.Plan(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev := res.Plan
+			hits, explored = 0, 0
+			b.StartTimer()
+			for _, pool := range steps {
+				res, err := pl.Replan(prev, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prev = res.Plan
+				hits += res.CacheHits
+				explored += res.Explored
+			}
+		}
+		b.ReportMetric(float64(len(steps)), "replans/op")
+		b.ReportMetric(float64(hits), "cache-hits/op")
+		b.ReportMetric(float64(explored), "explored/op")
+	})
+}
+
+// BenchmarkReplanSpeculative measures the zero-latency serving path: a
+// diurnal-wave replan chain through a sailor.Service whose forecaster has
+// locked onto the cycle, so each measured Replan is answered from the
+// speculation cache. The prefetches themselves resolve off the clock
+// (Quiesce between steps, the deterministic-stepping contract) — what is
+// timed is the request latency the caller sees on a forecast hit.
+func BenchmarkReplanSpeculative(b *testing.B) {
+	sc, ok := trace.ScenarioByName("diurnal-wave")
+	if !ok {
+		b.Fatal("diurnal-wave not registered")
+	}
+	pools := sc.TraceWith(1, trace.ScenarioOpts{Horizon: 72 * time.Hour, Base: 16}).DistinctPools()
+	b.Run("diurnal-wave", func(b *testing.B) {
+		svc := sailor.NewService(sailor.ServiceConfig{Workers: 1, MaxConcurrent: 4})
+		if err := svc.OpenJob("bench", sailor.OPT350M(), []core.GPUType{core.A100}, 0); err != nil {
+			b.Fatal(err)
+		}
+		// Two full passes lock the forecaster onto the period and warm the
+		// plan cache before the clock starts.
+		var prev core.Plan
+		for pass := 0; pass < 2; pass++ {
+			var err error
+			if _, prev, err = experiments.DriveSpeculativeReplans(svc, "bench", pools, prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hits, replans := 0, 0
+		ctx := context.Background()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, pool := range pools {
+				b.StopTimer()
+				svc.Quiesce()
+				b.StartTimer()
+				res, err := svc.Replan(ctx, "bench", prev, pool, core.MaxThroughput, core.Constraints{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.SpeculativeHit {
+					hits++
+				}
+				replans++
+				prev = res.Plan
+			}
+		}
+		b.StopTimer()
+		svc.Quiesce()
+		b.ReportMetric(float64(len(pools)), "replans/op")
+		b.ReportMetric(100*float64(hits)/float64(replans), "spec-hit-%")
+	})
 }
 
 // BenchmarkHeuristicAblation quantifies D2: search cost without H2/H3 on a

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -131,9 +132,11 @@ func runPerfSuite(workers int) (benchDoc, error) {
 		}
 		return hits, explored, nil
 	}
+	// The delta-scoped probe is disabled so this row keeps measuring the
+	// plain warm path (replan_incremental below measures the probe).
 	warmPl := planner.New(*cfg, ev, planner.Options{
 		Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
-		Workers: workers, Warm: planner.NewWarmCache(),
+		Workers: workers, Warm: planner.NewWarmCache(), DisableIncremental: true,
 	})
 	if _, _, err := warmChain(warmPl); err != nil { // populate the cache
 		return doc, err
@@ -151,6 +154,115 @@ func runPerfSuite(workers int) (benchDoc, error) {
 		}
 	})
 	doc.Benches = append(doc.Benches, row("replan_warm/preemption-storm", r, explored, hits))
+
+	// Delta-scoped incremental replans: a descent of one-zone single-GPU
+	// shrinks, each replanned against the memo of the search one step
+	// earlier. The warm cache is re-seeded off the clock every op, so no
+	// step ever finds its exact keys cached — every step exercises the
+	// probe, not a plain warm hit.
+	incBase, incSteps := experiments.ReplanDescent()
+	incChain := func(pl *planner.Planner, prev core.Plan) (hits, explored int, err error) {
+		for _, pool := range incSteps {
+			res, err := pl.Replan(prev, pool)
+			if err != nil {
+				return 0, 0, err
+			}
+			prev = res.Plan
+			hits += res.CacheHits
+			explored += res.Explored
+		}
+		return hits, explored, nil
+	}
+	mkInc := func() (*planner.Planner, core.Plan, error) {
+		pl := planner.New(*cfg, ev, planner.Options{
+			Objective: core.MaxThroughput, Heuristics: planner.AllHeuristics(),
+			Workers: workers, Warm: planner.NewWarmCache(),
+		})
+		res, err := pl.Plan(incBase)
+		return pl, res.Plan, err
+	}
+	probePl, probePrev, err := mkInc()
+	if err != nil {
+		return doc, err
+	}
+	incHits, incExplored, err := incChain(probePl, probePrev)
+	if err != nil {
+		return doc, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pl, prev, err := mkInc()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, _, err := incChain(pl, prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc.Benches = append(doc.Benches, row("replan_incremental/delta=1zone", r, incExplored, incHits))
+
+	// Speculative serving: a diurnal-wave replan chain through a Service
+	// whose forecaster has locked onto the cycle, so every measured replan
+	// is answered from the prefetch cache. Prefetches resolve off the clock
+	// (Quiesce between steps) — ns/op is the request latency of one
+	// forecast hit, the zero-latency reconfiguration headline. Timed by
+	// hand over a fixed op count: the hit path is microseconds, and
+	// testing.Benchmark would schedule hundreds of thousands of ops whose
+	// untimed prefetch rounds dominate wall-clock.
+	dsc, ok := trace.ScenarioByName("diurnal-wave")
+	if !ok {
+		return doc, fmt.Errorf("diurnal-wave scenario not registered")
+	}
+	diurnal := dsc.TraceWith(1, trace.ScenarioOpts{Horizon: 72 * time.Hour, Base: 16}).DistinctPools()
+	specSvc := sailor.NewService(sailor.ServiceConfig{Workers: 1, MaxConcurrent: 4})
+	if err := specSvc.OpenJob("spec", sailor.OPT350M(), []core.GPUType{core.A100}, 0); err != nil {
+		return doc, err
+	}
+	var specPrev core.Plan
+	for pass := 0; pass < 2; pass++ { // lock the forecaster, warm the cache
+		if _, specPrev, err = experiments.DriveSpeculativeReplans(specSvc, "spec", diurnal, specPrev); err != nil {
+			return doc, err
+		}
+	}
+	const specCycles = 3
+	var (
+		specT                            time.Duration
+		m0, m1                           runtime.MemStats
+		specN, specHits, sExpl, sCacheHi int
+	)
+	specSvc.Quiesce()
+	runtime.ReadMemStats(&m0)
+	for c := 0; c < specCycles; c++ {
+		for _, pool := range diurnal {
+			specSvc.Quiesce()
+			t0 := time.Now()
+			res, err := specSvc.Replan(context.Background(), "spec", specPrev, pool,
+				core.MaxThroughput, core.Constraints{})
+			specT += time.Since(t0)
+			if err != nil {
+				return doc, err
+			}
+			specN++
+			if res.SpeculativeHit {
+				specHits++
+			}
+			sExpl += res.Explored
+			sCacheHi += res.CacheHits
+			specPrev = res.Plan
+		}
+	}
+	specSvc.Quiesce()
+	runtime.ReadMemStats(&m1)
+	if specHits*10 < specN*9 {
+		return doc, fmt.Errorf("replan_speculative: only %d/%d forecast hits", specHits, specN)
+	}
+	r = testing.BenchmarkResult{N: specN, T: specT,
+		MemAllocs: m1.Mallocs - m0.Mallocs, MemBytes: m1.TotalAlloc - m0.TotalAlloc}
+	doc.Benches = append(doc.Benches, row("replan_speculative/diurnal-wave", r, sExpl, sCacheHi))
 
 	// Multi-tenant service front door: one op = one plan per tenant.
 	const tenants = 4
@@ -206,7 +318,9 @@ func runPerfSuite(workers int) (benchDoc, error) {
 	// order and Rebalance replans the broken jobs warm in priority order.
 	for _, jobs := range []int{4, 16} {
 		fleetTrace := sc.TraceWith(1, trace.ScenarioOpts{Base: 4 * jobs})
-		fleetSvc := sailor.NewService(sailor.ServiceConfig{Workers: 1})
+		// Speculation off: these rows pin the foreground rebalance cost;
+		// the prefetch layer has its own row (replan_speculative above).
+		fleetSvc := sailor.NewService(sailor.ServiceConfig{Workers: 1, WithoutSpeculation: true})
 		for i := 0; i < jobs; i++ {
 			if err := fleetSvc.OpenJob(fmt.Sprintf("fleet-%d", i), sailor.OPT350M(),
 				[]core.GPUType{core.A100}, jobs-i); err != nil {

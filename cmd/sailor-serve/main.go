@@ -94,12 +94,27 @@ type daemon struct {
 // Addr returns the bound listen address.
 func (d *daemon) Addr() net.Addr { return d.srv.Addr() }
 
-// Close drains in-flight requests, writes the chaos fault log if one was
-// requested, then — in durable mode — rotates a final snapshot so the next
-// boot replays zero journal records. A sticky journal error from the
+// onOff renders a boolean knob for the startup banner.
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}
+
+// Close drains in-flight requests (speculative prefetches included), logs
+// the session's speculation hit rate, writes the chaos fault log if one
+// was requested, then — in durable mode — rotates a final snapshot so the
+// next boot replays zero journal records. A sticky journal error from the
 // session is surfaced here.
 func (d *daemon) Close() error {
 	d.srv.Close()
+	d.svc.Quiesce()
+	if st, err := d.svc.Stats(); err == nil && st.SpecHits+st.SpecMisses > 0 {
+		log.Printf("speculation: %d/%d replans served from prefetch (%.1f%% hit rate, %d precomputed)",
+			st.SpecHits, st.SpecHits+st.SpecMisses,
+			100*float64(st.SpecHits)/float64(st.SpecHits+st.SpecMisses), st.SpecPrecomputed)
+	}
 	if d.chaosLog != "" {
 		doc, err := d.inj.MarshalLog()
 		if err == nil {
@@ -178,17 +193,21 @@ func start(args []string, out io.Writer) (*daemon, error) {
 	dataDir := fs.String("data-dir", "", "durable mode: snapshot+journal state here and recover it on restart")
 	fsync := fs.String("fsync", "always", `journal flush policy: "always" (every record) or "none"`)
 	maxQueue := fs.Int("max-queue", 0, "planner requests queued beyond max-concurrent before shedding with overloaded (0 = 8x max-concurrent, -1 = unbounded)")
+	noSpec := fs.Bool("no-speculation", false, "disable the speculative replan prefetch layer (ablation)")
+	noInc := fs.Bool("no-incremental", false, "disable the planner's delta-scoped incremental replanning probe (ablation)")
 	chaosFile := fs.String("chaos", "", "chaos mode: arm this fault-schedule file against the listener and journal (testing only)")
 	chaosLog := fs.String("chaos-log", "", "chaos mode: write the fault log here on shutdown (needs -chaos)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	cfg := sailor.ServiceConfig{
-		Workers:         *workers,
-		MaxConcurrent:   *maxConcurrent,
-		SystemCacheSize: *cache,
-		Seed:            *seed,
-		MaxQueued:       *maxQueue,
+		Workers:            *workers,
+		MaxConcurrent:      *maxConcurrent,
+		SystemCacheSize:    *cache,
+		Seed:               *seed,
+		MaxQueued:          *maxQueue,
+		WithoutSpeculation: *noSpec,
+		WithoutIncremental: *noInc,
 	}
 
 	var inj *chaos.Injector
@@ -263,6 +282,8 @@ func start(args []string, out io.Writer) (*daemon, error) {
 	go srv.Serve()
 	fmt.Fprintf(out, "listening on %s (wire schema v%d, workers=%d, max-concurrent=%d, cache=%d)\n",
 		srv.Addr(), sailor.WireVersion, *workers, *maxConcurrent, *cache)
+	fmt.Fprintf(out, "speculation: %s, incremental replanning: %s\n",
+		onOff(!*noSpec), onOff(!*noInc))
 	if cfg.Fleet != nil && recovered == nil {
 		fmt.Fprintf(out, "fleet mode: %d GPUs shared, per-job cap %d\n",
 			cfg.Fleet.Capacity().TotalGPUs(), cfg.Fleet.JobCap())

@@ -1,0 +1,174 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// deltaChain is a replan sequence whose consecutive pools differ by a
+// single-cell shrink (the incremental probe's arming condition), with one
+// growth step mixed in to pin the fall-through path. Two GPU types across
+// two regions keep the counts matrix at four cells, so every delta is
+// confined to one (region, type) cell.
+func deltaChain() []*cluster.Pool {
+	mk := func(a100A, a100W, v100A int) *cluster.Pool {
+		return cluster.NewPool().
+			Set(zoneA, core.A100, a100A).
+			Set(zoneW, core.A100, a100W).
+			Set(zoneA, core.V100, v100A)
+	}
+	return []*cluster.Pool{
+		mk(16, 8, 8),
+		mk(15, 8, 8), // -1 A100 us-central1: armed
+		mk(15, 8, 6), // -2 V100 us-central1: armed
+		mk(15, 4, 6), // -4 A100 us-west1: armed
+		mk(16, 8, 8), // growth: falls through to the plain warm path
+		mk(16, 8, 7), // -1 V100 us-central1: armed
+	}
+}
+
+// TestIncrementalReplanMatchesCold is the exactness oracle of the
+// incremental probe: replaying a chain of one-cell shrink deltas, every
+// warm replan returns byte-identical plans and estimates to cold planning
+// on the same pool, at workers 1 and 8, with identical telemetry across
+// worker counts.
+func TestIncrementalReplanMatchesCold(t *testing.T) {
+	cfg := model.OPT350M()
+	mk := warmLab(t, cfg, core.A100, core.V100)
+	pools := deltaChain()
+
+	coldPlans := make([]string, len(pools))
+	for i, pool := range pools {
+		cold, err := mk(Options{Objective: core.MaxThroughput}).Plan(pool)
+		if err != nil {
+			t.Fatalf("pool %d: cold plan: %v", i, err)
+		}
+		coldPlans[i] = cold.Plan.String()
+	}
+
+	type obs struct {
+		plan     string
+		explored int
+		hits     int
+	}
+	var runs [2][]obs
+	for ri, workers := range []int{1, 8} {
+		pl := mk(Options{Objective: core.MaxThroughput, Workers: workers, Warm: NewWarmCache()})
+		var prev core.Plan
+		for i, pool := range pools {
+			res, err := pl.Replan(prev, pool)
+			if err != nil {
+				t.Fatalf("workers=%d pool %d: %v", workers, i, err)
+			}
+			if res.Plan.String() != coldPlans[i] {
+				t.Errorf("workers=%d pool %d: incremental plan differs from cold:\nwarm: %s\ncold: %s",
+					workers, i, res.Plan.String(), coldPlans[i])
+			}
+			runs[ri] = append(runs[ri], obs{res.Plan.String(), res.Explored, res.CacheHits})
+			prev = res.Plan
+		}
+	}
+	for i := range runs[0] {
+		if runs[0][i] != runs[1][i] {
+			t.Errorf("replan %d diverges between workers=1 and workers=8:\n%+v\n%+v",
+				i, runs[0][i], runs[1][i])
+		}
+	}
+}
+
+// TestWithoutIncrementalParity pins the ablation knob: the same delta chain
+// replayed with DisableIncremental on and off returns byte-identical plans
+// and estimates, and the probe visibly pays for itself — with it on, at
+// least one armed step explores strictly fewer nodes.
+func TestWithoutIncrementalParity(t *testing.T) {
+	cfg := model.OPT350M()
+	mk := warmLab(t, cfg, core.A100, core.V100)
+	pools := deltaChain()
+
+	run := func(disable bool) ([]Result, int) {
+		pl := mk(Options{Objective: core.MaxThroughput, Warm: NewWarmCache(), DisableIncremental: disable})
+		var out []Result
+		var prev core.Plan
+		explored := 0
+		for i, pool := range pools {
+			res, err := pl.Replan(prev, pool)
+			if err != nil {
+				t.Fatalf("disable=%v pool %d: %v", disable, i, err)
+			}
+			out = append(out, res)
+			explored += res.Explored
+			prev = res.Plan
+		}
+		return out, explored
+	}
+	on, onExplored := run(false)
+	off, offExplored := run(true)
+	for i := range on {
+		if on[i].Plan.String() != off[i].Plan.String() {
+			t.Errorf("pool %d: plan differs between incremental on and off:\non:  %s\noff: %s",
+				i, on[i].Plan.String(), off[i].Plan.String())
+		}
+		if on[i].Estimate.IterTime != off[i].Estimate.IterTime || on[i].Estimate.Cost() != off[i].Estimate.Cost() {
+			t.Errorf("pool %d: estimate differs between incremental on and off", i)
+		}
+	}
+	if onExplored >= offExplored {
+		t.Errorf("incremental probe never reduced exploration: on=%d off=%d", onExplored, offExplored)
+	}
+}
+
+// TestIncrementalProbeSafety covers the probe's guard rails: a delta
+// spanning two cells, a growth delta, and a fingerprint change never arm
+// it, and an armed probe whose cached winner no longer fits the shrunk
+// cell falls through to the scan. All paths must still match cold plans.
+func TestIncrementalProbeSafety(t *testing.T) {
+	cfg := model.OPT350M()
+	mk := warmLab(t, cfg, core.A100, core.V100)
+
+	base := cluster.NewPool().Set(zoneA, core.A100, 8).Set(zoneA, core.V100, 8)
+	cases := []*cluster.Pool{
+		cluster.NewPool().Set(zoneA, core.A100, 7).Set(zoneA, core.V100, 7),  // two cells shrink
+		cluster.NewPool().Set(zoneA, core.A100, 12).Set(zoneA, core.V100, 8), // growth
+		cluster.NewPool().Set(zoneA, core.A100, 2).Set(zoneA, core.V100, 8),  // deep shrink: winner may not fit
+		cluster.NewPool().Set(zoneA, core.A100, 8),                           // type disappears: shape change
+	}
+	pl := mk(Options{Objective: core.MaxThroughput, Warm: NewWarmCache()})
+	first, err := pl.Plan(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := first.Plan
+	for i, pool := range cases {
+		res, err := pl.Replan(prev, pool)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		cold, err := mk(Options{Objective: core.MaxThroughput}).Plan(pool)
+		if err != nil {
+			t.Fatalf("case %d: cold: %v", i, err)
+		}
+		if res.Plan.String() != cold.Plan.String() {
+			t.Errorf("case %d: plan differs from cold:\nwarm: %s\ncold: %s", i, res.Plan.String(), cold.Plan.String())
+		}
+		prev = res.Plan
+	}
+}
+
+// TestPlanKeyMatchesEstKey: the exported speculation-cache key is exactly
+// the warm estimate key, so the serving layer and the planner agree on
+// what "the same plan" means.
+func TestPlanKeyMatchesEstKey(t *testing.T) {
+	plan := core.Plan{
+		MicroBatchSize: 2,
+		Stages: []core.StagePlan{{
+			FirstLayer: 0, NumLayers: 24,
+			Replicas: []core.StageReplica{{GPU: core.A100, TP: 2, Zone: core.Zone{Region: "r", Name: "z"}}},
+		}},
+	}
+	if PlanKey(plan) != estKey(plan) {
+		t.Fatalf("PlanKey diverged from estKey: %q vs %q", PlanKey(plan), estKey(plan))
+	}
+}

@@ -139,6 +139,13 @@ type ServiceStats struct {
 	// journal is healthy. A non-empty value means writes since that error
 	// are not durable until the next snapshot rotation.
 	JournalError string `json:"journal_error,omitempty"`
+	// SpecHits counts replans answered from the speculation cache,
+	// SpecMisses those that fell through to a search, and SpecPrecomputed
+	// the prefetch plans completed for forecast pools. Omitted at zero so
+	// pre-speculation stats encodings are byte-unchanged.
+	SpecHits        uint64 `json:"spec_hits,omitempty"`
+	SpecMisses      uint64 `json:"spec_misses,omitempty"`
+	SpecPrecomputed uint64 `json:"spec_precomputed,omitempty"`
 }
 
 // RecoveryStats is the telemetry of one snapshot+journal recovery.

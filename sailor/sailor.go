@@ -357,6 +357,12 @@ type System struct {
 	// exact, so the chosen plan is identical either way.
 	DisableDominancePruning bool
 
+	// DisableIncremental turns off the planner's delta-scoped incremental
+	// probe of the warm cache (one-zone shrink replans re-scan every DP
+	// subtree instead of proving cached winners still hold) — the same
+	// ablation contract again: exact, so plans are identical either way.
+	DisableIncremental bool
+
 	simulator *sim.Simulator
 	gt        *groundtruth.Engine
 	// warm persists planner state across Replan calls (one cache per
@@ -368,11 +374,12 @@ type System struct {
 type Option func(*options)
 
 type options struct {
-	profSeed    uint64
-	gtSeed      uint64
-	workers     int
-	noPruning   bool
-	noDominance bool
+	profSeed      uint64
+	gtSeed        uint64
+	workers       int
+	noPruning     bool
+	noDominance   bool
+	noIncremental bool
 }
 
 // WithSeed fixes the deterministic seeds of the synthetic profiler noise
@@ -399,6 +406,13 @@ func WithoutDominancePruning() Option {
 	return func(o *options) { o.noDominance = true }
 }
 
+// WithoutIncremental disables the planner's exact delta-scoped incremental
+// replanning (the warm cache's dominating-state probe) — an ablation/
+// measurement knob; plans are identical either way.
+func WithoutIncremental() Option {
+	return func(o *options) { o.noIncremental = true }
+}
+
 // New profiles the model on every GPU type of the resource pool (§4.1) and
 // returns a ready System. Profiling is synthetic in this reproduction; see
 // DESIGN.md for the substitution.
@@ -419,6 +433,7 @@ func New(m Model, gpus []GPUType, opts ...Option) (*System, error) {
 		Workers:                 o.workers,
 		DisablePruning:          o.noPruning,
 		DisableDominancePruning: o.noDominance,
+		DisableIncremental:      o.noIncremental,
 		simulator:               sim.New(m, prof),
 		gt:                      gt,
 		warm:                    planner.NewWarmCache(),
@@ -441,6 +456,7 @@ func (s *System) plannerOpts(obj Objective, cons Constraints, workers int) plann
 		Workers:                 workers,
 		DisableBoundPruning:     s.DisablePruning,
 		DisableDominancePruning: s.DisableDominancePruning,
+		DisableIncremental:      s.DisableIncremental,
 	}
 }
 

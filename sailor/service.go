@@ -29,6 +29,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/planner"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -102,6 +103,16 @@ type ServiceConfig struct {
 	// via FleetEvent preempt leases in deterministic admission order; and
 	// Rebalance replans every leaseless job, warm, in priority order.
 	Fleet *fleet.Ledger
+	// WithoutSpeculation disables the speculative plan prefetch layer
+	// (see speculation.go): no forecasting, no prefetch cache, every replan
+	// runs its search. Ablation/bisection knob — plans and estimates are
+	// identical either way; only latency and the spec_* counters change.
+	WithoutSpeculation bool
+	// WithoutIncremental disables the planner's delta-scoped incremental
+	// replanning probe in every search the service runs, foreground and
+	// speculative alike. Ablation knob — plans are identical either way
+	// (the probe only ever serves provably exact winners).
+	WithoutIncremental bool
 	// SequentialRebalance forces Rebalance to replan every job in one
 	// goroutine, strictly in admission order — the pre-partitioning
 	// behavior. The default (false) searches jobs whose reachable fleet
@@ -198,6 +209,18 @@ type Service struct {
 	queued     atomic.Int64
 	overloaded atomic.Uint64
 	degraded   atomic.Uint64
+
+	// Speculation (see speculation.go): fleetForecast watches the ledger's
+	// capacity trajectory and fleetPredicted holds the pool keys of its
+	// last forecast, both guarded by mu; specWG tracks in-flight prefetch
+	// workers (Quiesce waits on it).
+	fleetForecast  *trace.Forecaster
+	fleetPredicted map[string]bool
+	specWG         sync.WaitGroup
+
+	specHits        atomic.Uint64
+	specMisses      atomic.Uint64
+	specPrecomputed atomic.Uint64
 }
 
 var _ API = (*Service)(nil)
@@ -228,6 +251,13 @@ type serviceJob struct {
 	lastPlan Plan
 	lastObj  Objective
 	lastCons Constraints
+
+	// spec is the job's speculation cache (self-locked; the zero value is
+	// ready, so restored jobs need no extra wiring) and forecast the pool
+	// forecaster feeding it, nil until the job's first replan and guarded
+	// by Service.mu.
+	spec     specCache
+	forecast *trace.Forecaster
 }
 
 // NewService returns an empty multi-tenant planning service.
@@ -460,7 +490,7 @@ func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objectiv
 	if err != nil {
 		return PlanResult{}, err
 	}
-	pl := planner.New(sys.Model, sys.simulator, sys.plannerOpts(obj, cons, sys.workerCount()))
+	pl := planner.New(sys.Model, sys.simulator, s.searchOpts(sys, obj, cons))
 	res, err = pl.PlanContext(ctx, pool)
 	if err != nil {
 		if deg, ok := s.degrade(ctx, j, err); ok {
@@ -474,7 +504,10 @@ func (s *Service) Plan(ctx context.Context, job string, pool *Pool, obj Objectiv
 
 // Replan implements API: a warm replan against the job's private cache,
 // identical to System.Replan given the same request history. Fleet mode
-// behaves as in Plan.
+// behaves as in Plan. When the speculation layer precomputed this exact
+// request (see speculation.go) the cached result returns without a search
+// — and without waiting for a planner slot; the release below pairs with
+// the acquire on every later path.
 func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool, obj Objective, cons Constraints) (res PlanResult, err error) {
 	done := s.begin(&s.replans)
 	defer func() { done(err) }()
@@ -482,15 +515,23 @@ func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool,
 	if err != nil {
 		return PlanResult{}, err
 	}
+	led := s.ledger()
+	if led == nil && s.speculative() {
+		if hit, ok := s.consultSpec(j, pool, prev, obj, cons); ok {
+			s.recordPlan(job, j, hit.Plan, obj, cons)
+			s.observeReplan(job, j, pool, hit.Plan, obj, cons)
+			return hit, nil
+		}
+	}
 	if err := s.acquire(ctx); err != nil {
 		if deg, ok := s.degrade(ctx, j, err); ok {
 			return deg, nil
 		}
 		return PlanResult{}, err
 	}
-	defer func() { <-s.sem }()
-	if led := s.ledger(); led != nil {
+	if led != nil {
 		res, err = s.planFleet(ctx, job, j, led, prev, true, obj, cons)
+		<-s.sem
 		if err != nil {
 			if deg, ok := s.degrade(ctx, j, err); ok {
 				return deg, nil
@@ -500,12 +541,16 @@ func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool,
 	}
 	sys, err := s.jobSystem(j)
 	if err != nil {
+		<-s.sem
 		return PlanResult{}, err
 	}
-	opts := sys.plannerOpts(obj, cons, sys.workerCount())
-	opts.Warm = j.warm
+	opts := s.searchOpts(sys, obj, cons)
+	opts.Warm = s.warmRef(j)
 	pl := planner.New(sys.Model, sys.simulator, opts)
 	res, err = pl.ReplanContext(ctx, prev, pool)
+	// Release before the prefetch round below, so speculation starts with
+	// at least this request's own slot idle.
+	<-s.sem
 	if err != nil {
 		if deg, ok := s.degrade(ctx, j, err); ok {
 			return deg, nil
@@ -513,6 +558,7 @@ func (s *Service) Replan(ctx context.Context, job string, prev Plan, pool *Pool,
 		return res, err
 	}
 	s.recordPlan(job, j, res.Plan, obj, cons)
+	s.observeReplan(job, j, pool, res.Plan, obj, cons)
 	return res, nil
 }
 
@@ -570,10 +616,19 @@ func (s *Service) searchFleet(ctx context.Context, name string, j *serviceJob, l
 	if view.TotalGPUs() == 0 {
 		return PlanResult{}, fmt.Errorf("sailor: fleet has no free capacity for job %q", name)
 	}
-	opts := sys.plannerOpts(obj, cons, sys.workerCount())
+	// A warm replan whose exact view was prefetched after a fleet event
+	// (see speculation.go) answers from the speculation cache; the key
+	// pins the full view bytes, so a view an earlier commit of this pass
+	// reshaped simply misses.
+	if warm && len(prev.Stages) > 0 && s.speculative() {
+		if res, ok := s.consultSpec(j, view, prev, obj, cons); ok {
+			return res, nil
+		}
+	}
+	opts := s.searchOpts(sys, obj, cons)
 	opts.Guard = planner.NewCapacityGuard(view)
 	if warm {
-		opts.Warm = j.warm
+		opts.Warm = s.warmRef(j)
 	}
 	pl := planner.New(sys.Model, sys.simulator, opts)
 	if warm && len(prev.Stages) > 0 {
@@ -660,6 +715,7 @@ func (s *Service) FleetEvent(ev TraceEvent) ([]LeaseInfo, error) {
 		return nil, ErrNoFleet
 	}
 	broken := led.Apply(ev)
+	s.observeFleetEvent(led, broken)
 	out := make([]LeaseInfo, len(broken))
 	for i, le := range broken {
 		out[i] = wire.FromLease(le)
@@ -956,6 +1012,9 @@ func (s *Service) Stats() (ServiceStats, error) {
 		Overloaded:        s.overloaded.Load(),
 		Degraded:          s.degraded.Load(),
 		JournalError:      journalErr,
+		SpecHits:          s.specHits.Load(),
+		SpecMisses:        s.specMisses.Load(),
+		SpecPrecomputed:   s.specPrecomputed.Load(),
 	}, nil
 }
 

@@ -1,0 +1,335 @@
+package sailor
+
+// Speculative plan prefetch: the zero-latency reconfiguration layer of the
+// Service. Each job's sequence of requested pools feeds a deterministic
+// trace.Forecaster; after every replan the service predicts the next few
+// pools the job is likely to see and — when the planner semaphore has idle
+// capacity — precomputes their plans into a small per-job speculation
+// cache. A replan whose (pool, previous plan, objective, constraints) key
+// was precomputed returns instantly with the cached result, marked
+// Result.SpeculativeHit; everything else falls through to the ordinary
+// search, and a miss purges the job's remaining entries (the forecast was
+// wrong, so whatever else it predicted is stale too). In fleet mode the
+// service forecasts the ledger's capacity trajectory instead: FleetEvent
+// prefetches the replans its broken leases will need at the next
+// Rebalance, and a capacity level the forecast did not predict invalidates
+// every job's speculation.
+//
+// Exactness: a prefetched result is a real planner search over a clone of
+// the job's warm cache — the exact cache state the foreground search would
+// start from — with the exact options and pool bytes of the request it
+// predicts. On a hit the clone (now holding the search's merge) is adopted
+// as the job's cache, so the cache trajectory, plans, estimates, and
+// search telemetry all match what the foreground search would have
+// produced byte for byte (TestWireDeterminism still holds with the layer
+// on); on a miss every clone is discarded and the job's cache is untouched.
+// Only Result.SpeculativeHit distinguishes a served prefetch.
+// ServiceConfig.WithoutSpeculation ablates the whole layer.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/planner"
+	"repro/internal/trace"
+)
+
+// specForecastK is how many forecast pools each prefetch round speculates
+// on: the periodic prediction plus one frequency-ranked fallback.
+const specForecastK = 2
+
+// specMaxEntries bounds one job's speculation cache; beyond it the oldest
+// entry is dropped (the forecast window moves with the trace, so old
+// predictions are the least likely to hit).
+const specMaxEntries = 64
+
+// specKey identifies one precomputable replan: the exact pool bytes, the
+// plan being replanned from, and the objective/constraints of the request.
+// Any difference in what the foreground search would see is a different key.
+func specKey(pool *Pool, prev Plan, obj Objective, cons Constraints) string {
+	return fmt.Sprintf("%v|%+v|%s|%s", obj, cons, planner.PlanKey(prev), pool.String())
+}
+
+// specEntry is one speculated replan. done closes when the prefetch
+// resolves; res/ok are valid only after. An entry whose prefetch found no
+// idle planner capacity (or whose search failed) resolves with ok=false.
+// base is the job's warm cache at launch and warm the clone the prefetch
+// searched into; both are written before the worker starts.
+type specEntry struct {
+	done chan struct{}
+	base *planner.WarmCache
+	warm *planner.WarmCache
+	res  PlanResult
+	ok   bool
+}
+
+// specCache is one job's bounded speculation cache. The zero value is
+// ready to use (restored jobs never touch their literal constructors).
+type specCache struct {
+	mu      sync.Mutex
+	entries map[string]*specEntry
+	order   []string // insertion order, oldest first
+}
+
+// begin registers a pending entry under key and returns it, or nil when the
+// key is already present (an identical prefetch is in flight or done).
+func (c *specCache) begin(key string) *specEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = map[string]*specEntry{}
+	}
+	if _, ok := c.entries[key]; ok {
+		return nil
+	}
+	if len(c.order) == specMaxEntries {
+		delete(c.entries, c.order[0])
+		c.order = c.order[:copy(c.order, c.order[1:])]
+	}
+	e := &specEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	return e
+}
+
+// take removes and returns the entry under key, nil when absent. The
+// caller joins e.done; a pending prefetch is consumed the moment its
+// consumer commits to waiting for it.
+func (c *specCache) take(key string) *specEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return e
+}
+
+// purge drops every entry. In-flight prefetches keep running (their warm
+// merges are exact and still useful); they just can no longer be consulted.
+func (c *specCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+	c.order = nil
+}
+
+// speculative reports whether the speculation layer is on.
+func (s *Service) speculative() bool { return !s.cfg.WithoutSpeculation }
+
+// searchOpts is plannerOpts plus the service-level ablation knobs: every
+// search the service runs — foreground or prefetch — goes through it, so
+// WithoutIncremental disables the delta-scoped probe uniformly.
+func (s *Service) searchOpts(sys *System, obj Objective, cons Constraints) planner.Options {
+	opts := sys.plannerOpts(obj, cons, sys.workerCount())
+	if s.cfg.WithoutIncremental {
+		opts.DisableIncremental = true
+	}
+	return opts
+}
+
+// consultSpec answers a replan from the job's speculation cache when the
+// exact request was precomputed. A pending prefetch is joined, not raced:
+// the result it is already computing is the result the foreground search
+// would compute. A miss purges the job's cache — the forecast that seeded
+// it mispredicted, so whatever else it predicted from the same state is
+// stale too.
+func (s *Service) consultSpec(j *serviceJob, pool *Pool, prev Plan, obj Objective, cons Constraints) (PlanResult, bool) {
+	e := j.spec.take(specKey(pool, prev, obj, cons))
+	if e != nil {
+		<-e.done
+		if e.ok {
+			s.specHits.Add(1)
+			s.adoptSpec(j, e)
+			res := e.res
+			res.SpeculativeHit = true
+			return res, true
+		}
+	}
+	s.specMisses.Add(1)
+	j.spec.purge()
+	return PlanResult{}, false
+}
+
+// adoptSpec installs a hit's post-search warm clone as the job's cache —
+// exactly the merge the foreground search would have published — unless a
+// concurrent request already advanced the cache past the prefetch's base
+// (then the clone is just dropped; cached entries are pure functions of
+// their keys, so nothing is lost but reuse).
+func (s *Service) adoptSpec(j *serviceJob, e *specEntry) {
+	s.mu.Lock()
+	if j.warm == e.base {
+		j.warm = e.warm
+	}
+	s.mu.Unlock()
+}
+
+// warmRef reads the job's current warm cache under the service lock:
+// speculative adoption swaps the pointer, so bare reads would race.
+func (s *Service) warmRef(j *serviceJob) *planner.WarmCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.warm
+}
+
+// specTask is one pool a prefetch worker will speculate on.
+type specTask struct {
+	e    *specEntry
+	pool *Pool
+}
+
+// observeReplan feeds a completed replan into the job's forecaster and
+// launches a prefetch round for the predicted next pools. Called after the
+// foreground result is in hand (and its planner slot released), so the
+// prefetch competes only for idle capacity.
+func (s *Service) observeReplan(name string, j *serviceJob, pool *Pool, plan Plan, obj Objective, cons Constraints) {
+	if !s.speculative() {
+		return
+	}
+	s.mu.Lock()
+	if s.jobs[name] != j {
+		s.mu.Unlock()
+		return
+	}
+	if j.forecast == nil {
+		j.forecast = trace.NewForecaster()
+	}
+	j.forecast.ObservePool(pool)
+	preds := j.forecast.Forecast(specForecastK)
+	base := j.warm
+	s.mu.Unlock()
+	var tasks []specTask
+	for _, p := range preds {
+		if e := j.spec.begin(specKey(p, plan, obj, cons)); e != nil {
+			e.base, e.warm = base, base.Clone()
+			tasks = append(tasks, specTask{e, p})
+		}
+	}
+	s.launchPrefetch(j, tasks, plan, obj, cons, nil)
+}
+
+// launchPrefetch runs tasks on one background worker, sequentially — one
+// worker per round holds at most one planner slot, so a round can always
+// proceed whenever the service is otherwise idle, at any MaxConcurrent.
+// led, when non-nil, makes the searches fleet-style (capacity guard over
+// the task pool).
+func (s *Service) launchPrefetch(j *serviceJob, tasks []specTask, prev Plan, obj Objective, cons Constraints, led *fleet.Ledger) {
+	if len(tasks) == 0 {
+		return
+	}
+	s.specWG.Add(1)
+	go func() {
+		defer s.specWG.Done()
+		for _, t := range tasks {
+			s.prefetchOne(j, t, prev, obj, cons, led)
+		}
+	}()
+}
+
+// prefetchOne precomputes one speculated replan. The planner slot is taken
+// non-blocking: speculation only ever uses capacity the foreground load
+// left idle, and a busy semaphore resolves the entry as a miss rather than
+// queueing work the forecast may not even need.
+func (s *Service) prefetchOne(j *serviceJob, t specTask, prev Plan, obj Objective, cons Constraints, led *fleet.Ledger) {
+	defer close(t.e.done)
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return
+	}
+	defer func() { <-s.sem }()
+	sys, err := s.jobSystem(j)
+	if err != nil {
+		return
+	}
+	opts := s.searchOpts(sys, obj, cons)
+	opts.Warm = t.e.warm
+	if led != nil {
+		opts.Guard = planner.NewCapacityGuard(t.pool)
+	}
+	pl := planner.New(sys.Model, sys.simulator, opts)
+	res, err := pl.ReplanContext(context.Background(), prev, t.pool)
+	if err != nil {
+		return
+	}
+	t.e.res, t.e.ok = res, true
+	s.specPrecomputed.Add(1)
+}
+
+// observeFleetEvent is FleetEvent's speculation hook. The service-level
+// forecaster watches the ledger's capacity trajectory; a capacity level the
+// previous forecast did not predict invalidates every job's speculation
+// (the cluster moved somewhere the precomputed plans never anticipated).
+// Then each job whose lease the event broke gets a prefetch round for the
+// warm replan it will run at the next Rebalance, against its current
+// ledger view.
+func (s *Service) observeFleetEvent(led *fleet.Ledger, broken []fleet.Lease) {
+	if !s.speculative() {
+		return
+	}
+	capacity := led.Capacity()
+	s.mu.Lock()
+	if s.fleet != led {
+		s.mu.Unlock()
+		return
+	}
+	predicted := s.fleetPredicted[capacity.String()]
+	if s.fleetForecast == nil {
+		s.fleetForecast = trace.NewForecaster()
+	}
+	s.fleetForecast.ObservePool(capacity)
+	preds := s.fleetForecast.Forecast(specForecastK)
+	s.fleetPredicted = make(map[string]bool, len(preds))
+	for _, p := range preds {
+		s.fleetPredicted[p.String()] = true
+	}
+	type cand struct {
+		name string
+		j    *serviceJob
+		base *planner.WarmCache
+		prev Plan
+		obj  Objective
+		cons Constraints
+	}
+	var jobs []*serviceJob
+	var cands []cand
+	for _, le := range broken {
+		if j, ok := s.jobs[le.Job]; ok && len(j.lastPlan.Stages) > 0 {
+			cands = append(cands, cand{le.Job, j, j.warm, j.lastPlan, j.lastObj, j.lastCons})
+		}
+	}
+	if !predicted {
+		for _, j := range s.jobs {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.spec.purge()
+	}
+	for _, c := range cands {
+		view := led.ViewForTypes(c.name, c.j.gpus)
+		if view.TotalGPUs() == 0 {
+			continue
+		}
+		if e := c.j.spec.begin(specKey(view, c.prev, c.obj, c.cons)); e != nil {
+			e.base, e.warm = c.base, c.base.Clone()
+			s.launchPrefetch(c.j, []specTask{{e, view}}, c.prev, c.obj, c.cons, led)
+		}
+	}
+}
+
+// Quiesce blocks until every in-flight speculative prefetch has resolved.
+// Replay tools and benchmarks call it between steps so the speculation
+// cache — and the warm-cache trajectory behind it — is a deterministic
+// function of the request history rather than of scheduling.
+func (s *Service) Quiesce() { s.specWG.Wait() }

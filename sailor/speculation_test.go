@@ -1,0 +1,170 @@
+package sailor
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// diurnalPools materialises the distinct pools of three full diurnal-wave
+// periods — the cyclic availability signal the speculation forecaster is
+// built to lock onto.
+func diurnalPools(t *testing.T, max int) []*Pool {
+	t.Helper()
+	sc, ok := ScenarioByName("diurnal-wave")
+	if !ok {
+		t.Fatal("diurnal-wave scenario not registered")
+	}
+	pools := sc.TraceWith(1, ScenarioOpts{Horizon: 72 * time.Hour, Base: 16}).DistinctPools()
+	if len(pools) > max {
+		pools = pools[:max]
+	}
+	return pools
+}
+
+// TestSpeculativeReplanParity is the ablation oracle of the speculation
+// layer: a diurnal-wave replan chain driven with speculation on and off
+// returns byte-identical results — plan, estimate, Explored, CacheHits —
+// with only the SpeculativeHit marker distinguishing served prefetches.
+// The cyclic trace must produce real hits, and the spec_* counters must
+// account for them exactly.
+func TestSpeculativeReplanParity(t *testing.T) {
+	pools := diurnalPools(t, 60)
+	type step struct {
+		canon string
+		hit   bool
+	}
+	run := func(without bool) ([]step, ServiceStats) {
+		svc := NewService(ServiceConfig{Workers: 2, MaxConcurrent: 4, WithoutSpeculation: without})
+		if err := svc.OpenJob("tenant", OPT350M(), []GPUType{A100}, 0); err != nil {
+			t.Fatal(err)
+		}
+		var prev Plan
+		steps := make([]step, 0, len(pools))
+		for i, pool := range pools {
+			// Quiesce between requests so each prefetch round resolves
+			// before the request it predicts — the deterministic-stepping
+			// contract replay tools follow.
+			svc.Quiesce()
+			res, err := svc.Replan(context.Background(), "tenant", prev, pool, MaxThroughput, Constraints{})
+			if err != nil {
+				t.Fatalf("without=%v step %d: %v", without, i, err)
+			}
+			hit := res.SpeculativeHit
+			res.SpeculativeHit = false
+			steps = append(steps, step{canonicalResult(t, res), hit})
+			prev = res.Plan
+		}
+		svc.Quiesce()
+		st, err := svc.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return steps, st
+	}
+	on, onStats := run(false)
+	off, offStats := run(true)
+	hits := 0
+	for i := range on {
+		if on[i].canon != off[i].canon {
+			t.Errorf("step %d: speculation changed the result:\non:  %s\noff: %s", i, on[i].canon, off[i].canon)
+		}
+		if off[i].hit {
+			t.Errorf("step %d: SpeculativeHit with speculation disabled", i)
+		}
+		if on[i].hit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("no step of a cyclic trace was answered from the speculation cache")
+	}
+	if onStats.SpecHits != uint64(hits) {
+		t.Errorf("SpecHits=%d but %d results carried the marker", onStats.SpecHits, hits)
+	}
+	if onStats.SpecPrecomputed < onStats.SpecHits {
+		t.Errorf("SpecPrecomputed=%d < SpecHits=%d", onStats.SpecPrecomputed, onStats.SpecHits)
+	}
+	if onStats.SpecHits+onStats.SpecMisses != uint64(len(pools)) {
+		t.Errorf("SpecHits+SpecMisses=%d, want one consult per replan (%d)",
+			onStats.SpecHits+onStats.SpecMisses, len(pools))
+	}
+	if offStats.SpecHits != 0 || offStats.SpecMisses != 0 || offStats.SpecPrecomputed != 0 {
+		t.Errorf("ablated service still speculated: hits=%d misses=%d precomputed=%d",
+			offStats.SpecHits, offStats.SpecMisses, offStats.SpecPrecomputed)
+	}
+}
+
+// TestFleetSpeculationParity: a fleet event that breaks a lease prefetches
+// the replan the next Rebalance will run; the rebalance step comes back
+// marked SpeculativeHit and byte-identical to what an ablated service
+// computes in the foreground, and the ledger trajectories stay identical.
+func TestFleetSpeculationParity(t *testing.T) {
+	zone := Zone{Region: "us-central1", Name: "us-central1-a"}
+	events := []TraceEvent{
+		{At: 1 * time.Hour, Zone: zone, GPU: A100, Delta: -12},
+		{At: 2 * time.Hour, Zone: zone, GPU: A100, Delta: +12},
+		{At: 3 * time.Hour, Zone: zone, GPU: A100, Delta: -12},
+	}
+	run := func(without bool) ([]string, int, uint64) {
+		svc := NewService(ServiceConfig{Workers: 2, MaxConcurrent: 4, WithoutSpeculation: without})
+		if err := svc.OpenJob("tenant", OPT350M(), []GPUType{A100}, 0); err != nil {
+			t.Fatal(err)
+		}
+		capacity := NewPool().Set(zone, A100, 16)
+		if err := svc.SetFleet(capacity, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Rebalance(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var steps []string
+		hits := 0
+		for i, ev := range events {
+			if _, err := svc.FleetEvent(ev); err != nil {
+				t.Fatalf("without=%v event %d: %v", without, i, err)
+			}
+			svc.Quiesce()
+			rb, err := svc.Rebalance(context.Background())
+			if err != nil {
+				t.Fatalf("without=%v rebalance %d: %v", without, i, err)
+			}
+			for _, s := range rb {
+				if s.Result == nil {
+					t.Fatalf("without=%v rebalance %d: job %q waiting: %s", without, i, s.Job, s.Error)
+				}
+				res := s.Result.Result()
+				if res.SpeculativeHit {
+					hits++
+				}
+				res.SpeculativeHit = false
+				steps = append(steps, s.Job+"|"+s.Action+"|"+canonicalResult(t, res))
+			}
+		}
+		svc.Quiesce()
+		st, err := svc.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return steps, hits, st.SpecHits
+	}
+	on, onHits, onStat := run(false)
+	off, offHits, _ := run(true)
+	if len(on) != len(off) {
+		t.Fatalf("step counts diverged: %d vs %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Errorf("rebalance step %d: speculation changed the outcome:\non:  %s\noff: %s", i, on[i], off[i])
+		}
+	}
+	if onHits == 0 {
+		t.Error("no rebalance step was answered from the prefetched fleet replans")
+	}
+	if offHits != 0 {
+		t.Errorf("ablated service marked %d speculative hits", offHits)
+	}
+	if onStat != uint64(onHits) {
+		t.Errorf("SpecHits=%d but %d steps carried the marker", onStat, onHits)
+	}
+}
